@@ -1,0 +1,7 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints the regenerated table/figure rows (visible with
+``pytest benchmarks/ --benchmark-only -s``) and asserts the paper's
+qualitative shape, so a performance regression *or* a behavioural
+regression fails the suite.
+"""

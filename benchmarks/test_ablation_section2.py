@@ -1,0 +1,33 @@
+"""Ablation A5 — the Section II strategies head to head.
+
+The motivating example discusses three designs for the booking workload
+and the paper's contribution resolves their dilemma:
+
+- read-lock + upgrade 2PL → deadlock aborts ("the number of aborted
+  transactions could become unacceptable");
+- exclusive 2PL → everyone waits ("a long time write-lock occurs");
+- freeze-until-commit → no reservation guarantees (see A2's constraint
+  aborts under scarcity);
+- the GTM → every booking commits, nobody waits.
+"""
+
+from repro.bench.experiments import ablations
+
+
+def test_ablation_section2_strategies(benchmark):
+    results = benchmark.pedantic(ablations.run_section2_strategies,
+                                 rounds=1, iterations=1)
+    print()
+    print(ablations.render_section2(results))
+    by_name = {r.strategy: r for r in results}
+    upgrade = by_name["upgrade-2PL"]
+    exclusive = by_name["exclusive-2PL"]
+    gtm = by_name["gtm"]
+    # the paper's three observations, as assertions:
+    assert upgrade.deadlocks > 0
+    assert upgrade.aborted == upgrade.deadlocks
+    assert exclusive.aborted == 0
+    assert exclusive.avg_wait > 1.0          # long write-lock waits
+    assert gtm.aborted == 0
+    assert gtm.avg_wait == 0.0               # full semantic concurrency
+    assert gtm.avg_exec < exclusive.avg_exec

@@ -1,0 +1,25 @@
+"""Ablation A4 — SST failure injection and recovery (paper Section VII:
+"we have assumed that SST is always correctly executed: further studies
+have to be devoted to ... recovery strategies, in case of SST failure").
+
+Transient failures are absorbed by the bounded retry loop; permanent
+failures abort the transaction cleanly.  In both cases the GTM's
+permanent values and the LDBS contents stay identical.
+"""
+
+from repro.bench.experiments import ablations
+
+
+def test_ablation_sst_recovery(benchmark):
+    results = benchmark(ablations.run_sst_recovery)
+    print()
+    print(ablations.render_sst_recovery(results))
+    by_name = {r.scenario: r for r in results}
+    transient = by_name["transient (1 failure)"]
+    assert transient.committed
+    assert transient.attempts == 2
+    permanent = by_name["permanent"]
+    assert not permanent.committed
+    for result in results:
+        assert result.consistent, \
+            f"{result.scenario}: GTM and LDBS diverged"

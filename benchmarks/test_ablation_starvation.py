@@ -1,0 +1,23 @@
+"""Ablation A1 — starvation mitigation (paper Section VII).
+
+A hostile stream of mutually compatible subtractions starves an
+incompatible assignment under FIFO θ; the lock-deny threshold and
+priority aging (both sketched in the conclusions) bound the victim's
+wait.  Prints the per-policy table.
+"""
+
+from repro.bench.experiments import ablations
+
+
+def test_ablation_starvation_policies(benchmark):
+    results = benchmark(ablations.run_starvation)
+    print()
+    print(ablations.render_starvation(results))
+    by_policy = {r.policy: r for r in results}
+    fifo = by_policy["fifo"]
+    assert fifo.victim_committed  # finite stream: it does finish
+    for name, result in by_policy.items():
+        if name == "fifo":
+            continue
+        assert result.victim_wait < fifo.victim_wait, \
+            f"{name} did not improve on FIFO"

@@ -1,0 +1,31 @@
+"""Benchmark E1 — regenerates paper Fig. 1 (analytic execution time).
+
+Prints the 2PL (Eq. 3) and proposed-model (Eq. 5) curves and asserts the
+Section VI-A claims: 2PL linear in conflicts, the proposed model never
+above 2PL, monotone in both axes, 0.5·τ_e best-case gain.
+"""
+
+from repro.bench.experiments import fig1
+
+
+def test_fig1_regenerates_and_matches_shape(benchmark):
+    data = benchmark(fig1.run)
+    print()
+    print(fig1.render(data))
+    checks = fig1.shape_checks(data)
+    assert all(checks.values()), {k: v for k, v in checks.items() if not v}
+
+
+def test_fig1_dense_grid(benchmark):
+    """The full 0..100% conflict grid at 1% resolution."""
+    config = fig1.Fig1Config(n=100)
+
+    def dense():
+        from repro.analytic.series import figure1_series
+        return figure1_series(
+            n=config.n,
+            conflict_fractions=[k / 100 for k in range(101)],
+            incompat_fractions=(0.0, 0.5, 1.0))
+
+    data = benchmark(dense)
+    assert len(data.twopl.x) == 101

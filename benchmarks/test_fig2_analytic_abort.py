@@ -1,0 +1,23 @@
+"""Benchmark E2 — regenerates paper Fig. 2 (analytic abort percentage).
+
+Prints the P(abort) = P(d)·P(c)·P(i) surfaces and the 2PL timeout
+reference, and asserts monotonicity in every axis.
+"""
+
+from repro.bench.experiments import fig2
+
+
+def test_fig2_regenerates_and_matches_shape(benchmark):
+    data = benchmark(fig2.run)
+    print()
+    print(fig2.render(data))
+    checks = fig2.shape_checks(data)
+    assert all(checks.values()), {k: v for k, v in checks.items() if not v}
+
+
+def test_fig2_fine_grid(benchmark):
+    config = fig2.Fig2Config(
+        disconnect_fractions=tuple(d / 10 for d in range(1, 10)),
+        incompat_fractions=tuple(i / 10 for i in range(1, 11)))
+    data = benchmark(fig2.run, config)
+    assert len(data.ours) == 90

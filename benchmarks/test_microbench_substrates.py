@@ -1,0 +1,76 @@
+"""Micro-benchmarks for the substrates under the GTM.
+
+Not a paper artifact — these keep an eye on the building blocks so a
+slow simulator or lock manager doesn't silently distort the Fig. 3
+emulation times.
+"""
+
+from repro.core.gtm import GlobalTransactionManager
+from repro.core.opclass import add
+from repro.ldbs.engine import Database
+from repro.ldbs.locks import LockManager, LockMode
+from repro.ldbs.predicate import P
+from repro.ldbs.schema import Column, ColumnType, TableSchema
+from repro.sim.engine import SimulationEngine
+
+
+def test_bench_sim_engine_event_throughput(benchmark):
+    def run_10k_events():
+        engine = SimulationEngine()
+        count = [0]
+
+        def tick(e):
+            count[0] += 1
+            if count[0] < 10_000:
+                e.schedule_after(0.001, tick)
+
+        engine.schedule_at(0.0, tick)
+        engine.run()
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_bench_lock_manager_acquire_release(benchmark):
+    def churn():
+        locks = LockManager()
+        for k in range(1000):
+            txn = f"T{k}"
+            locks.acquire(txn, "X", LockMode.S)
+            locks.acquire(txn, ("Y", k), LockMode.X)
+            locks.release_all(txn)
+        return True
+
+    assert benchmark(churn)
+
+
+def test_bench_ldbs_transaction_throughput(benchmark):
+    db = Database()
+    db.create_table(TableSchema(
+        "t", (Column("id", ColumnType.INT),
+              Column("v", ColumnType.INT)), primary_key="id"))
+    db.seed("t", [{"id": k, "v": 0} for k in range(100)])
+
+    def txn_churn():
+        for k in range(200):
+            with db.begin() as txn:
+                txn.update("t", P("id") == k % 100,
+                           lambda row: {"v": row["v"] + 1})
+        return True
+
+    assert benchmark(txn_churn)
+
+
+def test_bench_gtm_grant_commit_cycle(benchmark):
+    def cycle():
+        gtm = GlobalTransactionManager()
+        gtm.create_object("X", value=0)
+        for k in range(500):
+            name = f"T{k}"
+            gtm.begin(name)
+            gtm.invoke(name, "X", add(1))
+            gtm.apply(name, "X", add(1))
+            gtm.request_commit(name)
+        return gtm.object("X").permanent_value()
+
+    assert benchmark(cycle) == 500

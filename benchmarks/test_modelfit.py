@@ -1,0 +1,21 @@
+"""Validation bench — the Eq. 5 model against the emulation.
+
+Maps the emulation's α onto the model's incompatibility fraction
+(i = 1 − α²) and checks the two exhibits of the paper's Section VI
+agree: the GTM-over-2PL advantage is monotone in α in both, with strong
+rank correlation.
+"""
+
+from repro.bench.experiments import modelfit
+
+
+def test_model_and_emulation_agree(benchmark):
+    config = modelfit.ModelFitConfig(n_transactions=250)
+    data = benchmark.pedantic(modelfit.run, args=(config,),
+                              rounds=1, iterations=1)
+    print()
+    print(modelfit.render(data))
+    checks = modelfit.shape_checks(data)
+    assert all(checks.values()), \
+        {k: v for k, v in checks.items() if not v}
+    assert data.spearman >= 0.8

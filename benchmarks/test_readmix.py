@@ -1,0 +1,20 @@
+"""Extension bench — read/write mixing.
+
+Table I's read semantics, isolated: READ commutes with every update
+class, so the GTM never queues anyone at any read fraction, while 2PL's
+S/X incompatibility keeps writers and readers blocking each other until
+the mix is nearly all reads.
+"""
+
+from repro.bench.experiments import readmix
+
+
+def test_readmix_table1_read_semantics(benchmark):
+    config = readmix.ReadMixConfig(n_transactions=200)
+    data = benchmark.pedantic(readmix.run, args=(config,),
+                              rounds=1, iterations=1)
+    print()
+    print(readmix.render(data))
+    checks = readmix.shape_checks(data)
+    assert all(checks.values()), \
+        {k: v for k, v in checks.items() if not v}

@@ -1,0 +1,20 @@
+"""Robustness bench — the paper's claims across the unstated parameters.
+
+Sweeps service time, load factor, and outage-vs-timeout geometry, and
+asserts the two headline conclusions in their fair formulations (see
+the experiment's docstring for the two deliberate crossovers the raw
+metrics exhibit).
+"""
+
+from repro.bench.experiments import sensitivity
+
+
+def test_sensitivity_claims_hold_across_parameters(benchmark):
+    config = sensitivity.SensitivityConfig(n_transactions=250)
+    data = benchmark.pedantic(sensitivity.run, args=(config,),
+                              rounds=1, iterations=1)
+    print()
+    print(sensitivity.render(data))
+    checks = sensitivity.shape_checks(data)
+    assert all(checks.values()), \
+        {k: v for k, v in checks.items() if not v}

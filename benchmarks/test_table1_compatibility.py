@@ -1,0 +1,29 @@
+"""Benchmark E5 — regenerates paper Table I (compatibility matrix).
+
+Prints the matrix and asserts it equals the table as printed in the
+paper; also micro-benchmarks the conflict check, which sits on the
+GTM's hottest path (every invocation evaluates it against the pending
+set).
+"""
+
+from repro.bench.experiments import table1
+from repro.core.compatibility import invocations_compatible
+from repro.core.opclass import add, assign, read
+
+
+def test_table1_regenerates_and_matches_paper(benchmark):
+    sets = benchmark(table1.run)
+    print()
+    print(table1.render(sets))
+    assert table1.matches_paper(sets)
+
+
+def test_bench_conflict_check_hot_path(benchmark):
+    pairs = [(add(1), add(-1)), (add(1), assign(0)), (read(), assign(0)),
+             (assign(1), assign(2))]
+
+    def check_all():
+        return [invocations_compatible(a, b) for a, b in pairs]
+
+    results = benchmark(check_all)
+    assert results == [True, False, True, False]

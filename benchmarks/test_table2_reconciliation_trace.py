@@ -1,0 +1,28 @@
+"""Benchmark E6 — regenerates paper Table II (reconciliation trace).
+
+Replays the exact 9-row schedule through the real GTM, prints the table
+and asserts a cell-for-cell match with the paper (100 → 104 → 106).
+Also micro-benchmarks the Eq. 1 reconciliation itself.
+"""
+
+from repro.bench.experiments import table2
+from repro.core.reconciliation import AdditiveReconciler
+
+
+def test_table2_trace_matches_paper(benchmark):
+    result = benchmark(table2.run)
+    print()
+    print(table2.render(result))
+    assert result.matches_paper
+
+
+def test_bench_additive_reconciliation(benchmark):
+    reconciler = AdditiveReconciler()
+
+    def reconcile_many():
+        value = 0
+        for k in range(1000):
+            value = reconciler.reconcile(k, k + 1, value)
+        return value
+
+    assert benchmark(reconcile_many) == 1000

@@ -1,0 +1,19 @@
+"""Extension bench — throughput vs offered load.
+
+Sweeps the inter-arrival time and asserts the saturation ordering:
+2PL saturates first, the GTM tracks the offered load materially longer,
+the no-lock optimistic baseline is the envelope.
+"""
+
+from repro.bench.experiments import throughput
+
+
+def test_throughput_saturation_ordering(benchmark):
+    config = throughput.ThroughputConfig(n_transactions=300)
+    data = benchmark.pedantic(throughput.run, args=(config,),
+                              rounds=1, iterations=1)
+    print()
+    print(throughput.render(data))
+    checks = throughput.shape_checks(data)
+    assert all(checks.values()), \
+        {k: v for k, v in checks.items() if not v}

@@ -1,0 +1,17 @@
+"""Section VI-B setup bench — the 15 generated transaction classes.
+
+Regenerates the paper's class table C = ⟨T, op, X, η⟩ for the full 1000
+transactions and asserts the class structure: 15 classes (5 objects ×
+3 kinds), populations tracking α, 1 − α, and β.
+"""
+
+from repro.bench.experiments import workload_census
+
+
+def test_fifteen_classes_regenerate(benchmark):
+    generated = benchmark(workload_census.run)
+    print()
+    print(workload_census.render(generated))
+    checks = workload_census.shape_checks(generated)
+    assert all(checks.values()), \
+        {k: v for k, v in checks.items() if not v}

@@ -1,0 +1,45 @@
+"""The closed-form model of Section VI-A, interactively.
+
+Prints the Fig. 1 execution-time curves, the Fig. 2 abort surface, and
+the headline numbers the paper quotes (the 50%-of-τ_e best-case gain,
+where the scheme pays off and where it doesn't).
+
+Run with::
+
+    python examples/analytic_model.py
+"""
+
+from repro.analytic import (
+    absolute_gain,
+    abort_probability,
+    our_execution_time,
+    twopl_execution_time,
+)
+from repro.bench.experiments import fig1, fig2
+
+
+def main() -> None:
+    print(fig1.render(fig1.run()))
+    print()
+    print(fig2.render(fig2.run()))
+    print()
+
+    n = 100
+    print("headline numbers (n=100, tau_e=1):")
+    print(f"  2PL at full conflicts:        "
+          f"{twopl_execution_time(n, n):.3f}")
+    print(f"  ours, all compatible (i=0):   "
+          f"{our_execution_time(n, 0, n):.3f}")
+    print(f"  best-case gain (fraction of tau_e): "
+          f"{absolute_gain(n, 0, n):.3f}   <- the paper's '50%'")
+    print(f"  ours, all incompatible:       "
+          f"{our_execution_time(n, n, n):.3f} (equals 2PL)")
+    print()
+    print("sleeping-transaction abort model P(d)*P(c)*P(i):")
+    for d, c, i in ((0.1, 0.5, 0.3), (0.3, 0.5, 0.3), (0.5, 0.9, 0.9)):
+        print(f"  P(d)={d:.1f} P(c)={c:.1f} P(i)={i:.1f} -> "
+              f"P(abort)={100 * abort_probability(d, c, i):.1f}%")
+
+
+if __name__ == "__main__":
+    main()

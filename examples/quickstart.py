@@ -1,0 +1,46 @@
+"""Quickstart: the GTM public API on the paper's Table II example.
+
+Two transactions concurrently add to the same object; the semantic
+compatibility of add/sub operations lets both hold the grant at once,
+and reconciliation (Eq. 1) merges their effects at commit.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import GlobalTransactionManager
+from repro.core.opclass import add
+
+
+def main() -> None:
+    gtm = GlobalTransactionManager()
+    gtm.create_object("X", value=100)
+
+    # Two concurrent transactions, both granted: add/sub commutes.
+    gtm.begin("A")
+    gtm.begin("B")
+    assert gtm.invoke("A", "X", add(1)) == "granted"
+    assert gtm.invoke("B", "X", add(2)) == "granted"
+
+    # Each works on its own virtual copy (A_temp), not the database.
+    gtm.apply("A", "X", add(1))
+    gtm.apply("B", "X", add(2))
+    gtm.apply("A", "X", add(3))
+    print("A's virtual value:", gtm.read_virtual("A", "X"))   # 104
+    print("B's virtual value:", gtm.read_virtual("B", "X"))   # 102
+    print("permanent value:  ", gtm.object("X").permanent_value())  # 100
+
+    # Commits reconcile: X_new = A_temp + X_permanent - X_read.
+    gtm.request_commit("A")
+    print("after A commits:  ", gtm.object("X").permanent_value())  # 104
+    gtm.request_commit("B")
+    print("after B commits:  ", gtm.object("X").permanent_value())  # 106
+
+    assert gtm.object("X").permanent_value() == 106
+    print("\nBoth additions survived concurrent execution — no lost "
+          "update, no waiting.")
+
+
+if __name__ == "__main__":
+    main()

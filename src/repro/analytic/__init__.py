@@ -1,0 +1,33 @@
+"""The closed-form model of paper Section VI-A.
+
+- :mod:`repro.analytic.model` — Eq. (3), (4), (5) and the abort
+  probability ``P(abort) = P(d)·P(c)·P(i)``;
+- :mod:`repro.analytic.series` — the swept series behind Fig. 1 and
+  Fig. 2.
+"""
+
+from repro.analytic.model import (
+    abort_probability,
+    absolute_gain,
+    hypergeometric_pmf,
+    our_execution_time,
+    speedup_over_twopl,
+    twopl_abort_probability,
+    twopl_execution_time,
+)
+from repro.analytic.series import (
+    figure1_series,
+    figure2_series,
+)
+
+__all__ = [
+    "abort_probability",
+    "absolute_gain",
+    "figure1_series",
+    "figure2_series",
+    "hypergeometric_pmf",
+    "our_execution_time",
+    "speedup_over_twopl",
+    "twopl_abort_probability",
+    "twopl_execution_time",
+]

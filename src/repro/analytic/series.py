@@ -1,0 +1,120 @@
+"""Series generators behind Fig. 1 and Fig. 2.
+
+Fig. 1 plots the average transaction execution time (τ_e = 1) against
+the number of conflicts for 2PL (Eq. 3, one curve — it does not depend
+on incompatibilities) and for the proposed model (Eq. 5, one curve per
+incompatibility level).
+
+Fig. 2 plots the abort percentage of disconnected/sleeping transactions
+against the conflict percentage and the disconnection percentage "for
+increasing value of the number of not compatible transaction
+operations" — one surface slice per incompatibility level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analytic.model import (
+    abort_probability,
+    our_execution_time,
+    twopl_abort_probability,
+    twopl_execution_time,
+)
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted curve: a label and (x, y) points."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def as_rows(self) -> list[tuple[float, float]]:
+        return list(zip(self.x, self.y))
+
+
+@dataclass(frozen=True)
+class Figure1Data:
+    """All curves of Fig. 1."""
+
+    n: int
+    tau_e: float
+    twopl: Series
+    ours: tuple[Series, ...]  # one per incompatibility fraction
+
+
+def figure1_series(n: int = 100, tau_e: float = 1.0,
+                   conflict_fractions: Sequence[float] | None = None,
+                   incompat_fractions: Sequence[float] = (0.0, 0.25, 0.5,
+                                                          0.75, 1.0),
+                   ) -> Figure1Data:
+    """Regenerate Fig. 1: execution time vs conflicts and incompatibles."""
+    if conflict_fractions is None:
+        conflict_fractions = [j / 10.0 for j in range(11)]
+    conflicts = [round(fraction * n) for fraction in conflict_fractions]
+    x = tuple(100.0 * c / n for c in conflicts)
+    twopl = Series(
+        label="2PL",
+        x=x,
+        y=tuple(twopl_execution_time(c, n=n, tau_e=tau_e)
+                for c in conflicts),
+    )
+    ours: list[Series] = []
+    for fraction in incompat_fractions:
+        i = round(fraction * n)
+        ours.append(Series(
+            label=f"ours i={100 * fraction:.0f}%",
+            x=x,
+            y=tuple(our_execution_time(c, i, n=n, tau_e=tau_e)
+                    for c in conflicts),
+        ))
+    return Figure1Data(n=n, tau_e=tau_e, twopl=twopl, ours=tuple(ours))
+
+
+@dataclass(frozen=True)
+class Figure2Data:
+    """All curves of Fig. 2 (abort % vs conflict % per (d, i) setting)."""
+
+    disconnect_fractions: tuple[float, ...]
+    incompat_fractions: tuple[float, ...]
+    #: ours[(d, i)] -> Series over the conflict axis.
+    ours: dict[tuple[float, float], Series] = field(default_factory=dict)
+    #: 2PL reference: abort % vs disconnection % (timeout always exceeded).
+    twopl: Series | None = None
+
+
+def figure2_series(conflict_fractions: Sequence[float] | None = None,
+                   disconnect_fractions: Sequence[float] = (0.1, 0.3, 0.5),
+                   incompat_fractions: Sequence[float] = (0.25, 0.5, 0.75,
+                                                          1.0),
+                   ) -> Figure2Data:
+    """Regenerate Fig. 2: P(abort) = P(d)·P(c)·P(i) slices."""
+    if conflict_fractions is None:
+        conflict_fractions = [j / 10.0 for j in range(11)]
+    data = Figure2Data(
+        disconnect_fractions=tuple(disconnect_fractions),
+        incompat_fractions=tuple(incompat_fractions),
+    )
+    for d in disconnect_fractions:
+        for i in incompat_fractions:
+            data.ours[(d, i)] = Series(
+                label=f"ours d={100 * d:.0f}% i={100 * i:.0f}%",
+                x=tuple(100.0 * c for c in conflict_fractions),
+                y=tuple(100.0 * abort_probability(d, c, i)
+                        for c in conflict_fractions),
+            )
+    data = Figure2Data(
+        disconnect_fractions=data.disconnect_fractions,
+        incompat_fractions=data.incompat_fractions,
+        ours=data.ours,
+        twopl=Series(
+            label="2PL (timeout exceeded)",
+            x=tuple(100.0 * d for d in disconnect_fractions),
+            y=tuple(100.0 * twopl_abort_probability(d)
+                    for d in disconnect_fractions),
+        ),
+    )
+    return data

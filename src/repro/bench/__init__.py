@@ -1,0 +1,13 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each experiment driver in :mod:`repro.bench.experiments` produces the
+rows/series the corresponding paper artifact plots; the registry maps
+experiment ids (``fig1``, ``fig2``, ``fig3``, ``table1``, ``table2``,
+plus the ablations) to drivers, and ``python -m repro.bench <id>``
+prints them.  The pytest-benchmark modules under ``benchmarks/`` wrap
+the same drivers.
+"""
+
+from repro.bench.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]

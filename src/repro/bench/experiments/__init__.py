@@ -1,0 +1,19 @@
+"""Experiment drivers, one module per paper artifact."""
+
+from repro.bench.experiments import (  # noqa: F401
+    ablations,
+    fig1,
+    fig2,
+    fig3,
+    modelfit,
+    readmix,
+    sensitivity,
+    table1,
+    table2,
+    throughput,
+    workload_census,
+)
+
+__all__ = ["ablations", "fig1", "fig2", "fig3", "modelfit", "readmix",
+           "sensitivity", "table1", "table2", "throughput",
+           "workload_census"]

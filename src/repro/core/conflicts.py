@@ -1,0 +1,48 @@
+"""Transaction conflicts (paper Definition 2).
+
+"Transactions A and B are in conflict on X, (A, B) ∈ CONFLICT_X, if A is
+operating on X and B requests to perform an operation that is not
+compatible with the set of current operations of A, or vice-versa."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.compatibility import (
+    CompatibilityMatrix,
+    DEFAULT_MATRIX,
+    INDEPENDENT_MEMBERS,
+    LogicalDependence,
+    invocations_compatible,
+)
+from repro.core.opclass import Invocation
+
+
+class ConflictChecker:
+    """Evaluates CONFLICT_X between a requested op and granted ops."""
+
+    def __init__(self, matrix: CompatibilityMatrix = DEFAULT_MATRIX,
+                 dependence: LogicalDependence = INDEPENDENT_MEMBERS) -> None:
+        self.matrix = matrix
+        self.dependence = dependence
+
+    def in_conflict(self, requested: Invocation,
+                    granted: Invocation) -> bool:
+        """Definition 2 for a single pair of invocations."""
+        return not invocations_compatible(requested, granted,
+                                          matrix=self.matrix,
+                                          dependence=self.dependence)
+
+    def conflicts_with_any(self, requested: Invocation,
+                           granted: Iterable[Invocation]) -> bool:
+        """True if ``requested`` conflicts with any of ``granted``."""
+        return any(self.in_conflict(requested, op) for op in granted)
+
+    def first_conflict(self, requested: Invocation,
+                       granted: dict[str, Invocation]) -> str | None:
+        """The first transaction id whose granted op conflicts, or None."""
+        for txn_id, op in granted.items():
+            if self.in_conflict(requested, op):
+                return txn_id
+        return None

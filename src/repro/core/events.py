@@ -1,0 +1,116 @@
+"""GTM event vocabulary (paper Section IV, "events of interest").
+
+These dataclasses are the wire format between workload drivers /
+schedulers and the :class:`~repro.core.gtm.GlobalTransactionManager`.
+Every event the paper lists is present:
+
+====================  =========================================
+Paper notation        Class
+====================  =========================================
+⟨begin, A⟩            :class:`Begin`
+⟨op, X, A⟩            :class:`Invoke`
+⟨commit, X, A⟩        :class:`LocalCommit`
+⟨commit, A⟩           :class:`GlobalCommit`
+⟨abort, X, A⟩         :class:`LocalAbort`
+⟨abort, A⟩            :class:`GlobalAbort`
+⟨sleep, X, A⟩         :class:`LocalSleep`
+⟨sleep, A⟩            :class:`GlobalSleep`
+⟨awake, X, A⟩         :class:`LocalAwake`
+⟨awake, A⟩            :class:`GlobalAwake`
+⟨unlock, X⟩           :class:`Unlock`
+====================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.opclass import Invocation
+
+
+@dataclass(frozen=True)
+class GTMEvent:
+    """Base class for all GTM events."""
+
+
+@dataclass(frozen=True)
+class Begin(GTMEvent):
+    """⟨begin, A⟩ — transaction A starts."""
+
+    txn_id: str
+
+
+@dataclass(frozen=True)
+class Invoke(GTMEvent):
+    """⟨op, X, A⟩ — A requests the grant for an operation on X."""
+
+    txn_id: str
+    object_name: str
+    invocation: Invocation
+
+
+@dataclass(frozen=True)
+class LocalCommit(GTMEvent):
+    """⟨commit, X, A⟩ — A asks object X to reconcile and stage its value."""
+
+    txn_id: str
+    object_name: str
+
+
+@dataclass(frozen=True)
+class GlobalCommit(GTMEvent):
+    """⟨commit, A⟩ — A commits globally (triggers the SST)."""
+
+    txn_id: str
+
+
+@dataclass(frozen=True)
+class LocalAbort(GTMEvent):
+    """⟨abort, X, A⟩ — A abandons its work on X."""
+
+    txn_id: str
+    object_name: str
+
+
+@dataclass(frozen=True)
+class GlobalAbort(GTMEvent):
+    """⟨abort, A⟩ — A aborts globally."""
+
+    txn_id: str
+
+
+@dataclass(frozen=True)
+class LocalSleep(GTMEvent):
+    """⟨sleep, X, A⟩ — object X learns that A went to sleep."""
+
+    txn_id: str
+    object_name: str
+
+
+@dataclass(frozen=True)
+class GlobalSleep(GTMEvent):
+    """⟨sleep, A⟩ — A transitions to the Sleeping state."""
+
+    txn_id: str
+
+
+@dataclass(frozen=True)
+class LocalAwake(GTMEvent):
+    """⟨awake, X, A⟩ — object X re-validates the sleeper A."""
+
+    txn_id: str
+    object_name: str
+
+
+@dataclass(frozen=True)
+class GlobalAwake(GTMEvent):
+    """⟨awake, A⟩ — A leaves the Sleeping state."""
+
+    txn_id: str
+
+
+@dataclass(frozen=True)
+class Unlock(GTMEvent):
+    """⟨unlock, X⟩ — X has no pending operations; waiters may be granted."""
+
+    object_name: str

@@ -1,0 +1,223 @@
+"""Managed objects: the per-object bookkeeping of paper Section IV.
+
+Each object the GTM manages carries:
+
+- ``X_permanent`` — the committed value of each data member;
+- ``X_pending`` — transactions granted the right to operate, with their
+  class of operation;
+- ``X_waiting`` — the FIFO wait queue of (transaction, operation);
+- ``X_committing`` / ``X_committed`` — transactions applying / having
+  applied their commit;
+- ``X_aborting`` — transactions rolling back;
+- ``X_sleeping`` — sleeping transactions that touch this object;
+- ``X_read`` — per transaction, the permanent value snapshotted at grant
+  time;
+- ``X_new`` — per transaction, the reconciled value staged for the SST;
+- ``X_tc`` — per committed transaction, the commit time.
+
+An object may be *bound* to an LDBS column via :class:`ObjectBinding`;
+the SST executor uses the binding to translate staged values into real
+database writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+from repro.errors import GTMError
+from repro.core.opclass import Invocation
+
+
+@dataclass(frozen=True)
+class ObjectBinding:
+    """Maps a GTM object member to an LDBS cell (table, key, column).
+
+    ``member_columns`` maps GTM member names to table column names; the
+    default binds the atomic member ``"value"`` to ``column``.
+    """
+
+    table: str
+    key: Any
+    member_columns: Mapping[str, str]
+
+    @classmethod
+    def cell(cls, table: str, key: Any, column: str) -> "ObjectBinding":
+        return cls(table=table, key=key,
+                   member_columns={"value": column})
+
+    def column_for(self, member: str) -> str:
+        try:
+            return self.member_columns[member]
+        except KeyError:
+            raise GTMError(
+                f"binding for table {self.table!r} has no member "
+                f"{member!r}") from None
+
+
+@dataclass(frozen=True)
+class WaitEntry:
+    """One entry of ``X_waiting``: a transaction and its requested op."""
+
+    txn_id: str
+    invocation: Invocation
+    arrival: float
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One entry of ``X_committed``: who committed what, and when (X_tc)."""
+
+    txn_id: str
+    #: every operation the transaction held on this object (one per
+    #: data member).
+    invocations: tuple[Invocation, ...]
+    commit_time: float
+
+
+class ManagedObject:
+    """The GTM-side state of one database object."""
+
+    def __init__(self, name: str,
+                 members: Mapping[str, Any] | None = None,
+                 value: Any = None,
+                 binding: ObjectBinding | None = None,
+                 exists: bool = True) -> None:
+        if members is None:
+            members = {"value": value}
+        elif value is not None:
+            raise GTMError("pass either members= or value=, not both")
+        self.name = name
+        #: X_permanent: member -> committed value.
+        self.permanent: dict[str, Any] = dict(members)
+        self.binding = binding
+        #: Whole-object existence: False for a registered shell awaiting
+        #: an INSERT, or after a committed DELETE.
+        self.exists = exists
+        #: X_pending: txn -> (member -> granted invocation); "at most
+        #: one pending invocation of a single object data member".
+        self.pending: dict[str, dict[str, Invocation]] = {}
+        #: X_waiting: FIFO queue of wait entries.
+        self.waiting: list[WaitEntry] = []
+        #: X_committing: txn -> (member -> invocation) being committed.
+        self.committing: dict[str, dict[str, Invocation]] = {}
+        #: X_committed: history of commit records (X_tc inside).
+        self.committed: list[CommitRecord] = []
+        #: X_aborting: txn ids rolling back.
+        self.aborting: set[str] = set()
+        #: X_sleeping: sleeping txn ids that involve this object.
+        self.sleeping: set[str] = set()
+        #: X_read: txn -> (member -> snapshot at grant time).
+        self.read: dict[str, dict[str, Any]] = {}
+        #: X_new: txn -> (member -> reconciled value staged for the SST).
+        self.new: dict[str, dict[str, Any]] = {}
+
+    # -- membership helpers ---------------------------------------------------
+
+    def members(self) -> tuple[str, ...]:
+        return tuple(self.permanent)
+
+    def permanent_value(self, member: str = "value") -> Any:
+        try:
+            return self.permanent[member]
+        except KeyError:
+            raise GTMError(
+                f"object {self.name!r} has no member {member!r}") from None
+
+    def is_pending(self, txn_id: str) -> bool:
+        return txn_id in self.pending
+
+    def pending_ops(self, txn_id: str) -> tuple[Invocation, ...]:
+        """Every operation ``txn_id`` currently holds on this object."""
+        return tuple(self.pending.get(txn_id, {}).values())
+
+    def holder_ops(self, exclude: str | None = None,
+                   include_sleeping: bool = True,
+                   include_committing: bool = True,
+                   ) -> dict[str, tuple[Invocation, ...]]:
+        """The effective lock set: txn -> its granted/committing ops."""
+        holders: dict[str, list[Invocation]] = {}
+        for txn_id, ops in self.pending.items():
+            if txn_id == exclude:
+                continue
+            if not include_sleeping and txn_id in self.sleeping:
+                continue
+            holders.setdefault(txn_id, []).extend(ops.values())
+        if include_committing:
+            for txn_id, ops in self.committing.items():
+                if txn_id == exclude:
+                    continue
+                holders.setdefault(txn_id, []).extend(ops.values())
+        return {txn_id: tuple(ops) for txn_id, ops in holders.items()}
+
+    def is_waiting(self, txn_id: str) -> bool:
+        return any(entry.txn_id == txn_id for entry in self.waiting)
+
+    def waiting_entry(self, txn_id: str) -> WaitEntry | None:
+        return next((e for e in self.waiting if e.txn_id == txn_id), None)
+
+    def remove_waiting(self, txn_id: str) -> None:
+        self.waiting = [e for e in self.waiting if e.txn_id != txn_id]
+
+    def committed_after(self, when: float) -> Iterator[CommitRecord]:
+        """Commit records with ``X_tc > when`` (Algorithm 9's check)."""
+        return (record for record in self.committed
+                if record.commit_time > when)
+
+    # -- snapshots --------------------------------------------------------------
+
+    def snapshot_for(self, txn_id: str) -> None:
+        """X_read^A = X_permanent (full member snapshot at grant time)."""
+        self.read[txn_id] = dict(self.permanent)
+
+    def read_value(self, txn_id: str, member: str = "value") -> Any:
+        return self.read[txn_id][member]
+
+    def clear_txn(self, txn_id: str) -> None:
+        """Drop every trace of ``txn_id`` except committed history."""
+        self.pending.pop(txn_id, None)
+        self.remove_waiting(txn_id)
+        self.committing.pop(txn_id, None)
+        self.aborting.discard(txn_id)
+        self.sleeping.discard(txn_id)
+        self.read.pop(txn_id, None)
+        self.new.pop(txn_id, None)
+
+    # -- invariants ---------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Structural invariants used by tests and property checks.
+
+        - a transaction is never pending and committing at once, nor
+          waiting and committing (a committer cannot be waiting per
+          constraint iii); pending-and-waiting IS legal — a transaction
+          may hold one data member while queued for another;
+        - every pending/committing transaction has an X_read snapshot
+          (committing keeps it until the global commit clears it);
+        - sleeping is a subset of (pending ∪ waiting).
+        """
+        waiting_ids = {entry.txn_id for entry in self.waiting}
+        pending_ids = set(self.pending)
+        committing_ids = set(self.committing)
+        overlap = (pending_ids & committing_ids) | \
+                  (waiting_ids & committing_ids)
+        if overlap:
+            raise GTMError(
+                f"object {self.name!r}: transactions in two roles: "
+                f"{sorted(overlap)}")
+        missing = pending_ids - set(self.read)
+        if missing:
+            raise GTMError(
+                f"object {self.name!r}: pending without X_read: "
+                f"{sorted(missing)}")
+        stray = self.sleeping - (pending_ids | waiting_ids)
+        if stray:
+            raise GTMError(
+                f"object {self.name!r}: sleeping but neither pending nor "
+                f"waiting: {sorted(stray)}")
+
+    def __repr__(self) -> str:
+        return (f"<ManagedObject {self.name!r} permanent={self.permanent!r} "
+                f"pending={sorted(self.pending)} "
+                f"waiting={[e.txn_id for e in self.waiting]} "
+                f"committing={sorted(self.committing)}>")

@@ -1,0 +1,149 @@
+"""Operation classes and invocations (paper Section IV).
+
+The paper assumes "the operation semantics in a transaction is a-priori
+known, so that we can associate to the transactions a set of classes of
+operation".  Table I distinguishes:
+
+- ``READ``;
+- ``INSERT`` / ``DELETE`` (of whole objects);
+- ``UPDATE`` *with assignment* (``X = c``);
+- ``UPDATE`` *with add/sub* (``X = X ± c``);
+- ``UPDATE`` *with mul/div* (``X = X · c`` or ``X = X / c``, ``c ≠ 0``).
+
+An :class:`Invocation` is the ⟨op, X, A⟩ event payload: an operation of
+one class by one transaction on one *data member* of one object, with the
+parameters needed to apply it to the transaction's virtual copy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import GTMError
+
+
+class OperationClass(enum.Enum):
+    """Semantic classes of transaction operations (paper Table I)."""
+
+    READ = "read"
+    INSERT = "insert"
+    DELETE = "delete"
+    UPDATE_ASSIGN = "update-assign"
+    UPDATE_ADDSUB = "update-addsub"
+    UPDATE_MULDIV = "update-muldiv"
+
+    @property
+    def is_update(self) -> bool:
+        return self in (OperationClass.UPDATE_ASSIGN,
+                        OperationClass.UPDATE_ADDSUB,
+                        OperationClass.UPDATE_MULDIV)
+
+    @property
+    def mutates(self) -> bool:
+        return self is not OperationClass.READ
+
+    def apply(self, value: Any, operand: Any) -> Any:
+        """Apply one operation of this class to a virtual value.
+
+        ``operand`` is the constant ``c`` of the paper's examples; READ
+        ignores it and returns the value unchanged.
+        """
+        if self is OperationClass.READ:
+            return value
+        if self is OperationClass.UPDATE_ASSIGN:
+            return operand
+        if self is OperationClass.UPDATE_ADDSUB:
+            return value + operand
+        if self is OperationClass.UPDATE_MULDIV:
+            if operand == 0:
+                raise GTMError("multiplicative operand must be non-zero")
+            return value * operand
+        raise GTMError(
+            f"operation class {self.value!r} does not apply to a scalar "
+            f"value; INSERT/DELETE act on whole objects")
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """The payload of an ⟨op, X, A⟩ invocation event.
+
+    ``member`` identifies the object data member the operation touches
+    (``"value"`` for atomic objects).  ``operand`` is the constant applied
+    by update classes; for a subtraction ``X = X - 1`` the class is
+    ``UPDATE_ADDSUB`` with ``operand=-1``, for a division ``X = X / 2``
+    the class is ``UPDATE_MULDIV`` with ``operand=0.5``.
+    """
+
+    op_class: OperationClass
+    member: str = "value"
+    operand: Any = None
+
+    def __post_init__(self) -> None:
+        if self.op_class is OperationClass.UPDATE_MULDIV and \
+                self.operand in (0, 0.0):
+            raise GTMError("UPDATE_MULDIV operand must be non-zero")
+        if self.op_class.is_update and self.operand is None:
+            raise GTMError(
+                f"{self.op_class.value} invocation requires an operand")
+
+    def apply(self, value: Any) -> Any:
+        """Apply this invocation to a virtual value."""
+        return self.op_class.apply(value, self.operand)
+
+    def describe(self) -> str:
+        symbol = {
+            OperationClass.READ: "read X",
+            OperationClass.INSERT: "insert X",
+            OperationClass.DELETE: "delete X",
+            OperationClass.UPDATE_ASSIGN: f"X = {self.operand!r}",
+            OperationClass.UPDATE_ADDSUB: f"X = X + {self.operand!r}",
+            OperationClass.UPDATE_MULDIV: f"X = X * {self.operand!r}",
+        }[self.op_class]
+        if self.member != "value":
+            symbol = symbol.replace("X", f"X.{self.member}")
+        return symbol
+
+
+def read(member: str = "value") -> Invocation:
+    """Shorthand for a READ invocation."""
+    return Invocation(OperationClass.READ, member=member)
+
+
+def add(amount: Any, member: str = "value") -> Invocation:
+    """Shorthand for ``X = X + amount`` (use a negative amount to subtract)."""
+    return Invocation(OperationClass.UPDATE_ADDSUB, member=member,
+                      operand=amount)
+
+
+def subtract(amount: Any, member: str = "value") -> Invocation:
+    """Shorthand for ``X = X - amount``."""
+    return Invocation(OperationClass.UPDATE_ADDSUB, member=member,
+                      operand=-amount)
+
+
+def assign(value: Any, member: str = "value") -> Invocation:
+    """Shorthand for ``X = value``."""
+    return Invocation(OperationClass.UPDATE_ASSIGN, member=member,
+                      operand=value)
+
+
+def multiply(factor: Any, member: str = "value") -> Invocation:
+    """Shorthand for ``X = X * factor`` (use 1/f to divide)."""
+    return Invocation(OperationClass.UPDATE_MULDIV, member=member,
+                      operand=factor)
+
+
+def insert_object(values: Any = None) -> Invocation:
+    """Shorthand for a whole-object INSERT.
+
+    ``values`` is a mapping of member values passed at apply time (it
+    rides on the operand); INSERT is exclusive against every class.
+    """
+    return Invocation(OperationClass.INSERT, operand=values)
+
+
+def delete_object() -> Invocation:
+    """Shorthand for a whole-object DELETE (exclusive against all)."""
+    return Invocation(OperationClass.DELETE)

@@ -1,0 +1,160 @@
+"""Reconciliation algorithms (paper Eq. 1 and Eq. 2).
+
+Compatible transactions operate on private virtual copies of an object
+(``A_temp``).  When a transaction requests a commit, the GTM computes the
+value to store from three ingredients:
+
+- ``x_read`` — the permanent value the transaction saw when it first
+  obtained the grant;
+- ``a_temp`` — the transaction's current virtual value;
+- ``x_permanent`` — the *current* permanent value, which may already
+  include commits from concurrent compatible transactions.
+
+Eq. (1), additive classes::
+
+    X_new = A_temp + X_permanent - X_read
+
+Eq. (2), multiplicative classes::
+
+    X_new = (A_temp / X_read) * X_permanent
+
+Assignment has no reconciler (it is incompatible with every update class,
+so at commit time its virtual value is stored verbatim); READ writes
+nothing.  The registry maps each operation class to its reconciler and is
+the single extension point for richer ADTs (the Weihl framework the paper
+builds on).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+from repro.errors import ReconciliationError
+from repro.core.opclass import OperationClass
+
+
+class Reconciler(Protocol):
+    """ρ(X_read, A_temp, X_permanent) -> X_new (paper Algorithm 3)."""
+
+    name: str
+
+    def reconcile(self, x_read: Any, a_temp: Any, x_permanent: Any) -> Any:
+        """Compute the final value to store at commit."""
+        ...
+
+
+class IdentityReconciler:
+    """Stores the virtual value verbatim.
+
+    Used for ``UPDATE_ASSIGN``: assignment is incompatible with every
+    other update class, so when it commits no concurrent compatible
+    update can have moved ``X_permanent`` — the virtual value is final.
+    """
+
+    name = "identity"
+
+    def reconcile(self, x_read: Any, a_temp: Any, x_permanent: Any) -> Any:
+        return a_temp
+
+
+class AdditiveReconciler:
+    """Paper Eq. (1): ``X_new = A_temp + X_permanent - X_read``.
+
+    Folds this transaction's *delta* onto the latest permanent value, so
+    concurrent additive commits compose in any order (Table II's example:
+    100 →(A:+4) 104 →(B:+2) 106).
+    """
+
+    name = "additive"
+
+    def reconcile(self, x_read: Any, a_temp: Any, x_permanent: Any) -> Any:
+        try:
+            return a_temp + x_permanent - x_read
+        except TypeError as exc:
+            raise ReconciliationError(
+                f"additive reconciliation needs numeric values, got "
+                f"read={x_read!r} temp={a_temp!r} perm={x_permanent!r}"
+            ) from exc
+
+
+class MultiplicativeReconciler:
+    """Paper Eq. (2): ``X_new = (A_temp / X_read) * X_permanent``.
+
+    Folds this transaction's *factor* onto the latest permanent value.
+    Requires ``X_read != 0`` — the paper's mul/div class assumes non-zero
+    operands, and a zero snapshot makes the factor undefined.
+    """
+
+    name = "multiplicative"
+
+    def reconcile(self, x_read: Any, a_temp: Any, x_permanent: Any) -> Any:
+        if x_read == 0:
+            raise ReconciliationError(
+                "multiplicative reconciliation undefined for X_read == 0")
+        try:
+            return (a_temp / x_read) * x_permanent
+        except TypeError as exc:
+            raise ReconciliationError(
+                f"multiplicative reconciliation needs numeric values, got "
+                f"read={x_read!r} temp={a_temp!r} perm={x_permanent!r}"
+            ) from exc
+
+
+class ReconcilerRegistry:
+    """Operation class -> reconciler mapping (Definition 1, condition 3).
+
+    A class without a registered reconciler cannot share an object with
+    concurrent updates — which is exactly why it must be incompatible
+    with every update class in the matrix.  :meth:`validate_against`
+    checks that coupling.
+    """
+
+    def __init__(self) -> None:
+        self._by_class: dict[OperationClass, Reconciler] = {}
+
+    def register(self, op_class: OperationClass,
+                 reconciler: Reconciler) -> None:
+        self._by_class[op_class] = reconciler
+
+    def for_class(self, op_class: OperationClass) -> Reconciler:
+        reconciler = self._by_class.get(op_class)
+        if reconciler is None:
+            raise ReconciliationError(
+                f"no reconciler registered for {op_class.value!r}")
+        return reconciler
+
+    def has(self, op_class: OperationClass) -> bool:
+        return op_class in self._by_class
+
+    def reconcile(self, op_class: OperationClass, x_read: Any, a_temp: Any,
+                  x_permanent: Any) -> Any:
+        """Apply ρ for the given class."""
+        return self.for_class(op_class).reconcile(x_read, a_temp, x_permanent)
+
+    def validate_against(self, matrix: "CompatibilityMatrix") -> None:
+        """Check Definition 1 condition 3 against a compatibility matrix.
+
+        Every *update* class compatible with itself must have a
+        reconciler: two concurrent same-class updates can only merge if ρ
+        exists.
+        """
+        from repro.core.compatibility import CompatibilityMatrix  # noqa: F811
+        assert isinstance(matrix, CompatibilityMatrix)
+        for op_class in OperationClass:
+            if not op_class.is_update:
+                continue
+            if matrix.compatible_classes(op_class, op_class) and \
+                    not self.has(op_class):
+                raise ReconciliationError(
+                    f"{op_class.value!r} commutes with itself but has no "
+                    f"reconciler — Definition 1 condition 3 violated")
+
+
+def default_registry() -> ReconcilerRegistry:
+    """The paper's registry: Eq. (1), Eq. (2), identity for assignment."""
+    registry = ReconcilerRegistry()
+    registry.register(OperationClass.UPDATE_ADDSUB, AdditiveReconciler())
+    registry.register(OperationClass.UPDATE_MULDIV,
+                      MultiplicativeReconciler())
+    registry.register(OperationClass.UPDATE_ASSIGN, IdentityReconciler())
+    return registry

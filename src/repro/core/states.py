@@ -1,0 +1,88 @@
+"""Transaction operating states and the legal transition relation.
+
+Paper Section IV: "the set of possible states that a transaction can
+assume is: Active, Waiting, Sleeping, Committing, Aborting, Committed,
+Aborted".  The transition edges below are those exercised by Algorithms
+1-11; :class:`StateMachine` enforces them so that a protocol bug surfaces
+as :class:`~repro.errors.IllegalTransition` instead of silent corruption.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import IllegalTransition
+
+
+class TransactionState(enum.Enum):
+    """Operating states of a GTM transaction (paper Section IV)."""
+
+    ACTIVE = "active"
+    WAITING = "waiting"
+    SLEEPING = "sleeping"
+    COMMITTING = "committing"
+    ABORTING = "aborting"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (TransactionState.COMMITTED,
+                        TransactionState.ABORTED)
+
+
+_S = TransactionState
+
+#: Legal edges, derived from the pre/postconditions of Algorithms 1-11:
+#: - Alg. 2: ACTIVE -> WAITING on an incompatible invocation;
+#: - Alg. 3: ACTIVE -> COMMITTING on the first local commit;
+#: - Alg. 4: COMMITTING -> COMMITTED at global commit;
+#: - Alg. 5: ACTIVE/WAITING -> ABORTING on a local abort;
+#: - Alg. 6: ABORTING -> ABORTED at global abort;
+#: - Alg. 8: ACTIVE/WAITING -> SLEEPING when the sleep oracle fires;
+#: - Alg. 9 (conflict case): SLEEPING -> ABORTED directly;
+#: - Alg. 10: SLEEPING -> ACTIVE at global awakening;
+#: - Alg. 11: WAITING -> ACTIVE when the unlock grants the waiter.
+_ALLOWED: dict[TransactionState, frozenset[TransactionState]] = {
+    _S.ACTIVE: frozenset({_S.WAITING, _S.SLEEPING, _S.COMMITTING,
+                          _S.ABORTING}),
+    _S.WAITING: frozenset({_S.ACTIVE, _S.SLEEPING, _S.ABORTING}),
+    _S.SLEEPING: frozenset({_S.ACTIVE, _S.ABORTED, _S.ABORTING}),
+    _S.COMMITTING: frozenset({_S.COMMITTED, _S.ABORTING}),
+    _S.ABORTING: frozenset({_S.ABORTED}),
+    _S.COMMITTED: frozenset(),
+    _S.ABORTED: frozenset(),
+}
+
+
+def can_transition(source: TransactionState,
+                   target: TransactionState) -> bool:
+    """True when ``source -> target`` is a legal edge."""
+    return target in _ALLOWED[source]
+
+
+class StateMachine:
+    """Holds one transaction's state and validates every transition."""
+
+    __slots__ = ("txn_id", "state", "history")
+
+    def __init__(self, txn_id: str,
+                 initial: TransactionState = TransactionState.ACTIVE) -> None:
+        self.txn_id = txn_id
+        self.state = initial
+        #: Every state ever entered, in order (useful for metrics/tests).
+        self.history: list[TransactionState] = [initial]
+
+    def transition(self, target: TransactionState) -> None:
+        """Take an edge, or raise :class:`IllegalTransition`."""
+        if not can_transition(self.state, target):
+            raise IllegalTransition(self.txn_id, self.state.value,
+                                    target.value)
+        self.state = target
+        self.history.append(target)
+
+    def is_in(self, *states: TransactionState) -> bool:
+        return self.state in states
+
+    def __repr__(self) -> str:
+        return f"<StateMachine {self.txn_id!r} {self.state.value}>"

@@ -1,0 +1,180 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subsystems refine the hierarchy:
+simulation-kernel errors, LDBS (storage / locking / recovery) errors, and
+GTM protocol errors are each grouped under their own intermediate class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event-kernel errors."""
+
+
+class ClockError(SimulationError):
+    """An attempt to move the virtual clock backwards."""
+
+
+class ProcessError(SimulationError):
+    """A simulation process misbehaved (e.g. yielded an unknown command)."""
+
+
+# ---------------------------------------------------------------------------
+# LDBS: the relational substrate
+# ---------------------------------------------------------------------------
+
+
+class LDBSError(ReproError):
+    """Base class for Local DataBase System errors."""
+
+
+class SchemaError(LDBSError):
+    """Invalid schema definition or a row that violates the schema."""
+
+
+class CatalogError(LDBSError):
+    """Unknown or duplicate table."""
+
+
+class StorageError(LDBSError):
+    """Row-level storage failure (unknown rid, duplicate key, ...)."""
+
+
+class QueryError(LDBSError):
+    """Malformed query against the LDBS."""
+
+
+class TransactionError(LDBSError):
+    """Generic transaction-protocol violation at the LDBS layer."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction has been aborted and may not perform further work."""
+
+    def __init__(self, txn_id: str, reason: str = "") -> None:
+        self.txn_id = txn_id
+        self.reason = reason
+        message = f"transaction {txn_id!r} aborted"
+        if reason:
+            message = f"{message}: {reason}"
+        super().__init__(message)
+
+
+class LockError(TransactionError):
+    """Base class for lock-manager failures."""
+
+
+class LockConflictError(LockError):
+    """A lock request conflicts and the caller asked not to wait."""
+
+
+class LockUpgradeError(LockError):
+    """An unsupported or conflicting lock upgrade was requested."""
+
+
+class DeadlockError(TransactionError):
+    """A deadlock was detected; carries the victim transaction id."""
+
+    def __init__(self, victim: str, cycle: tuple[str, ...] = ()) -> None:
+        self.victim = victim
+        self.cycle = cycle
+        detail = f" (cycle: {' -> '.join(cycle)})" if cycle else ""
+        super().__init__(f"deadlock detected; victim {victim!r}{detail}")
+
+
+class WaitTimeoutError(TransactionError):
+    """A lock wait exceeded the configured timeout."""
+
+
+class ConstraintViolation(LDBSError):
+    """An integrity constraint was violated by a write or a commit."""
+
+    def __init__(self, constraint: str, detail: str = "") -> None:
+        self.constraint = constraint
+        self.detail = detail
+        message = f"constraint {constraint!r} violated"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class RecoveryError(LDBSError):
+    """The WAL could not be replayed into a consistent state."""
+
+
+class WALError(LDBSError):
+    """Malformed or out-of-order write-ahead-log operation."""
+
+
+# ---------------------------------------------------------------------------
+# GTM: the paper's middleware
+# ---------------------------------------------------------------------------
+
+
+class GTMError(ReproError):
+    """Base class for Global Transaction Manager protocol errors."""
+
+
+class ProtocolError(GTMError):
+    """An event arrived whose preconditions (Algorithms 1-11) do not hold."""
+
+    def __init__(self, event: str, reason: str) -> None:
+        self.event = event
+        self.reason = reason
+        super().__init__(f"precondition failed for {event}: {reason}")
+
+
+class IllegalTransition(GTMError):
+    """A transaction state machine was asked to take a forbidden edge."""
+
+    def __init__(self, txn_id: str, source: str, target: str) -> None:
+        self.txn_id = txn_id
+        self.source = source
+        self.target = target
+        super().__init__(
+            f"transaction {txn_id!r}: illegal transition {source} -> {target}"
+        )
+
+
+class IncompatibleOperations(GTMError):
+    """Two operation classes that must commute do not."""
+
+
+class ReconciliationError(GTMError):
+    """A reconciliation algorithm could not produce a final value."""
+
+
+class SSTFailure(GTMError):
+    """A Secure System Transaction failed while applying to the LDBS."""
+
+    def __init__(self, txn_id: str, reason: str = "") -> None:
+        self.txn_id = txn_id
+        self.reason = reason
+        message = f"SST for transaction {txn_id!r} failed"
+        if reason:
+            message = f"{message}: {reason}"
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
+# Workload / bench harness
+# ---------------------------------------------------------------------------
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was misconfigured or failed."""

@@ -1,0 +1,50 @@
+"""Table catalog: name -> HeapTable registry."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import CatalogError
+from repro.ldbs.schema import TableSchema
+from repro.ldbs.storage import HeapTable
+
+
+class Catalog:
+    """The database's table namespace."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, HeapTable] = {}
+
+    def create_table(self, schema: TableSchema) -> HeapTable:
+        """Create and register a table; fails on duplicate names."""
+        if schema.name in self._tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table = HeapTable(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[name]
+
+    def table(self, name: str) -> HeapTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def __iter__(self) -> Iterator[HeapTable]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __repr__(self) -> str:
+        return f"<Catalog tables={sorted(self._tables)}>"

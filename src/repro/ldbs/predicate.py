@@ -1,0 +1,109 @@
+"""Composable row predicates.
+
+Queries against the LDBS filter rows with :class:`Predicate` objects built
+from the :class:`P` column helper::
+
+    P("town") == "Naples"
+    (P("free_tickets") > 0) & (P("company") == "AZ")
+
+Predicates are plain callables over mappings, so they work on both stored
+:class:`~repro.ldbs.rows.Row` versions and raw dicts.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Mapping
+
+RowLike = Mapping[str, Any]
+
+
+class Predicate:
+    """A boolean function over a row, composable with ``&``, ``|``, ``~``.
+
+    Atomic comparisons additionally carry ``atom = (column, op, value)``
+    so storage layers can answer them from an index instead of scanning;
+    composite predicates have ``atom = None``.
+    """
+
+    __slots__ = ("func", "description", "atom")
+
+    def __init__(self, func: Callable[[RowLike], bool],
+                 description: str = "<predicate>",
+                 atom: tuple[str, str, Any] | None = None) -> None:
+        self.func = func
+        self.description = description
+        self.atom = atom
+
+    def __call__(self, row: RowLike) -> bool:
+        return bool(self.func(row))
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return Predicate(lambda row: self(row) and other(row),
+                         f"({self.description} AND {other.description})")
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Predicate(lambda row: self(row) or other(row),
+                         f"({self.description} OR {other.description})")
+
+    def __invert__(self) -> "Predicate":
+        return Predicate(lambda row: not self(row),
+                         f"(NOT {self.description})")
+
+    def __repr__(self) -> str:
+        return f"Predicate({self.description})"
+
+
+#: Predicate that matches every row (used for full-table scans).
+ALWAYS = Predicate(lambda row: True, "TRUE")
+
+
+class P:
+    """Column reference used to build comparison predicates."""
+
+    __slots__ = ("column",)
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+
+    def _compare(self, op: Callable[[Any, Any], bool], symbol: str,
+                 value: Any) -> Predicate:
+        column = self.column
+        return Predicate(lambda row: op(row[column], value),
+                         f"{column} {symbol} {value!r}",
+                         atom=(column, symbol, value))
+
+    def __eq__(self, value: Any) -> Predicate:  # type: ignore[override]
+        return self._compare(operator.eq, "=", value)
+
+    def __ne__(self, value: Any) -> Predicate:  # type: ignore[override]
+        return self._compare(operator.ne, "!=", value)
+
+    def __lt__(self, value: Any) -> Predicate:
+        return self._compare(operator.lt, "<", value)
+
+    def __le__(self, value: Any) -> Predicate:
+        return self._compare(operator.le, "<=", value)
+
+    def __gt__(self, value: Any) -> Predicate:
+        return self._compare(operator.gt, ">", value)
+
+    def __ge__(self, value: Any) -> Predicate:
+        return self._compare(operator.ge, ">=", value)
+
+    def isin(self, values: Any) -> Predicate:
+        collected = set(values)
+        column = self.column
+        return Predicate(lambda row: row[column] in collected,
+                         f"{column} IN {sorted(map(repr, collected))}")
+
+    def is_null(self) -> Predicate:
+        column = self.column
+        return Predicate(lambda row: row[column] is None,
+                         f"{column} IS NULL")
+
+    def __hash__(self) -> int:  # P overrides __eq__, keep it hashable
+        return hash(("P", self.column))
+
+    def __repr__(self) -> str:
+        return f"P({self.column!r})"

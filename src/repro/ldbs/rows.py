@@ -1,0 +1,66 @@
+"""Immutable row versions.
+
+Rows are immutable mappings; an update produces a new :class:`Row` with
+the same rid and a bumped version.  Immutability is what lets the WAL keep
+before-images by reference and lets concurrent readers hold snapshots
+without copying.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Any, Iterator, Mapping
+
+from repro.errors import StorageError
+
+
+class Row(Mapping[str, Any]):
+    """One version of a stored row."""
+
+    __slots__ = ("rid", "version", "_values")
+
+    def __init__(self, rid: int, values: Mapping[str, Any],
+                 version: int = 0) -> None:
+        self.rid = rid
+        self.version = version
+        self._values = MappingProxyType(dict(values))
+
+    # -- Mapping interface --------------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- row operations -----------------------------------------------------
+
+    def replace(self, updates: Mapping[str, Any]) -> "Row":
+        """Return a new version of this row with ``updates`` applied."""
+        unknown = set(updates) - set(self._values)
+        if unknown:
+            raise StorageError(
+                f"row {self.rid} has no columns {sorted(unknown)}")
+        merged = dict(self._values)
+        merged.update(updates)
+        return Row(self.rid, merged, version=self.version + 1)
+
+    def as_dict(self) -> dict[str, Any]:
+        """A mutable copy of the row values."""
+        return dict(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return (self.rid == other.rid
+                    and self.version == other.version
+                    and dict(self._values) == dict(other._values))
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.rid, self.version))
+
+    def __repr__(self) -> str:
+        return f"Row(rid={self.rid}, v{self.version}, {dict(self._values)!r})"

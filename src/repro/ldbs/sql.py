@@ -1,0 +1,712 @@
+"""A mini-SQL front end for the LDBS.
+
+The paper's motivating example (Section II) is written as SQL::
+
+    select FreeTickets from Flight where some_conditions
+    update Flight set FreeTickets = FreeTickets - 1 where some_conditions
+
+This module parses and executes that dialect against the
+:class:`~repro.ldbs.engine.Database`:
+
+- ``SELECT col[, col...] | * | agg(col) FROM table [WHERE cond]
+  [ORDER BY col [ASC|DESC]] [LIMIT n]`` with aggregates ``COUNT(*)``,
+  ``COUNT/SUM/AVG/MIN/MAX(col)``
+- ``INSERT INTO table (col, ...) VALUES (lit, ...)``
+- ``UPDATE table SET col = expr [, col = expr] [WHERE cond]``
+- ``DELETE FROM table [WHERE cond]``
+
+Conditions support ``=  != <> < <= > >= IS NULL / IS NOT NULL``,
+``AND`` / ``OR`` / ``NOT`` and parentheses; SET expressions support
+literals and ``column ± literal``, ``column * literal``,
+``column / literal`` arithmetic.
+
+The paper assumes "the operation semantics in a transaction is a-priori
+known" — :func:`classify_update` delivers exactly that: it maps each SET
+clause to its Table I operation class and operand
+(``FreeTickets = FreeTickets - 1`` → ``UPDATE_ADDSUB``, operand ``-1``),
+so SQL statements can drive the GTM directly
+(:func:`update_invocations`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import QueryError
+from repro.core.opclass import Invocation, OperationClass
+from repro.ldbs.engine import Database, Transaction
+from repro.ldbs.predicate import ALWAYS, P, Predicate
+from repro.ldbs.rows import Row
+
+# ---------------------------------------------------------------------------
+# tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(r"""
+    \s*(?:
+        (?P<number>-?\d+\.\d+|-?\d+)
+      | (?P<string>'(?:[^']|'')*')
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<op><=|>=|!=|<>|=|<|>|\(|\)|,|\*|\+|-|/)
+    )""", re.VERBOSE)
+
+_KEYWORDS = frozenset({
+    "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE",
+    "SET", "DELETE", "AND", "OR", "NOT", "IS", "NULL", "TRUE", "FALSE",
+    "ORDER", "BY", "ASC", "DESC", "LIMIT",
+    "COUNT", "SUM", "AVG", "MIN", "MAX",
+})
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # number | string | ident | keyword | op | end
+    value: Any
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise QueryError(
+                f"cannot tokenize SQL at position {position}: "
+                f"{remainder[:20]!r}")
+        position = match.end()
+        if match.lastgroup == "number":
+            literal = match.group("number")
+            value = float(literal) if "." in literal else int(literal)
+            tokens.append(Token("number", value, match.start()))
+        elif match.lastgroup == "string":
+            raw = match.group("string")[1:-1].replace("''", "'")
+            tokens.append(Token("string", raw, match.start()))
+        elif match.lastgroup == "ident":
+            word = match.group("ident")
+            if word.upper() in _KEYWORDS:
+                tokens.append(Token("keyword", word.upper(),
+                                    match.start()))
+            else:
+                tokens.append(Token("ident", word, match.start()))
+        else:
+            tokens.append(Token("op", match.group("op"), match.start()))
+    tokens.append(Token("end", None, len(text)))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class Arithmetic:
+    """column op literal — the shape Table I classifies."""
+
+    column: str
+    operator: str   # + - * /
+    operand: Any
+
+
+SetExpr = Any  # Literal | ColumnRef | Arithmetic
+
+
+@dataclass(frozen=True)
+class Comparison:
+    column: str
+    operator: str   # = != < <= > >= isnull notnull
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    operator: str   # and | or
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True)
+class NotOp:
+    operand: Any
+
+
+Condition = Any  # Comparison | BoolOp | NotOp
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """COUNT/SUM/AVG/MIN/MAX over a column (or * for COUNT)."""
+
+    function: str          # count | sum | avg | min | max
+    column: str | None     # None only for COUNT(*)
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    column: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    table: str
+    columns: tuple[str, ...] | None   # None = *
+    where: Condition | None
+    aggregates: tuple[Aggregate, ...] = ()
+    order_by: OrderBy | None = None
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    table: str
+    columns: tuple[str, ...]
+    values: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    column: str
+    expression: SetExpr
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    table: str
+    assignments: tuple[Assignment, ...]
+    where: Condition | None
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    table: str
+    where: Condition | None
+
+
+Statement = Any
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect_keyword(self, *words: str) -> str:
+        token = self.advance()
+        if token.kind != "keyword" or token.value not in words:
+            raise QueryError(
+                f"expected {' or '.join(words)} at position "
+                f"{token.position}, got {token.value!r}")
+        return token.value
+
+    def expect_op(self, symbol: str) -> None:
+        token = self.advance()
+        if token.kind != "op" or token.value != symbol:
+            raise QueryError(
+                f"expected {symbol!r} at position {token.position}, "
+                f"got {token.value!r}")
+
+    def expect_ident(self) -> str:
+        token = self.advance()
+        if token.kind != "ident":
+            raise QueryError(
+                f"expected identifier at position {token.position}, "
+                f"got {token.value!r}")
+        return token.value
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        return token.kind == "keyword" and token.value in words
+
+    def at_op(self, symbol: str) -> bool:
+        token = self.peek()
+        return token.kind == "op" and token.value == symbol
+
+    def expect_end(self) -> None:
+        token = self.peek()
+        if token.kind != "end":
+            raise QueryError(
+                f"unexpected trailing input at position "
+                f"{token.position}: {token.value!r}")
+
+    # -- grammar ---------------------------------------------------------------
+
+    def statement(self) -> Statement:
+        word = self.expect_keyword("SELECT", "INSERT", "UPDATE", "DELETE")
+        if word == "SELECT":
+            return self.select()
+        if word == "INSERT":
+            return self.insert()
+        if word == "UPDATE":
+            return self.update()
+        return self.delete()
+
+    _AGG_KEYWORDS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+    def select(self) -> SelectStatement:
+        columns: tuple[str, ...] | None = None
+        aggregates: tuple[Aggregate, ...] = ()
+        if self.at_op("*"):
+            self.advance()
+        elif self.at_keyword(*self._AGG_KEYWORDS):
+            items = [self.aggregate()]
+            while self.at_op(","):
+                self.advance()
+                items.append(self.aggregate())
+            aggregates = tuple(items)
+        else:
+            names = [self.expect_ident()]
+            while self.at_op(","):
+                self.advance()
+                names.append(self.expect_ident())
+            columns = tuple(names)
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = self.optional_where()
+        order_by = None
+        if self.at_keyword("ORDER"):
+            self.advance()
+            self.expect_keyword("BY")
+            column = self.expect_ident()
+            descending = False
+            if self.at_keyword("ASC", "DESC"):
+                descending = self.advance().value == "DESC"
+            order_by = OrderBy(column=column, descending=descending)
+        limit = None
+        if self.at_keyword("LIMIT"):
+            self.advance()
+            token = self.advance()
+            if token.kind != "number" or not isinstance(token.value, int) \
+                    or token.value < 0:
+                raise QueryError(
+                    f"LIMIT needs a non-negative integer at position "
+                    f"{token.position}")
+            limit = token.value
+        self.expect_end()
+        if aggregates and (order_by is not None or limit is not None):
+            raise QueryError(
+                "ORDER BY / LIMIT make no sense on an aggregate query")
+        return SelectStatement(table=table, columns=columns, where=where,
+                               aggregates=aggregates, order_by=order_by,
+                               limit=limit)
+
+    def aggregate(self) -> Aggregate:
+        function = self.expect_keyword(*self._AGG_KEYWORDS).lower()
+        self.expect_op("(")
+        if self.at_op("*"):
+            self.advance()
+            if function != "count":
+                raise QueryError(f"{function.upper()}(*) is not valid")
+            column = None
+        else:
+            column = self.expect_ident()
+        self.expect_op(")")
+        return Aggregate(function=function, column=column)
+
+    def insert(self) -> InsertStatement:
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        self.expect_op("(")
+        columns = [self.expect_ident()]
+        while self.at_op(","):
+            self.advance()
+            columns.append(self.expect_ident())
+        self.expect_op(")")
+        self.expect_keyword("VALUES")
+        self.expect_op("(")
+        values = [self.literal_value()]
+        while self.at_op(","):
+            self.advance()
+            values.append(self.literal_value())
+        self.expect_op(")")
+        self.expect_end()
+        if len(columns) != len(values):
+            raise QueryError(
+                f"INSERT has {len(columns)} columns but "
+                f"{len(values)} values")
+        return InsertStatement(table=table, columns=tuple(columns),
+                               values=tuple(values))
+
+    def update(self) -> UpdateStatement:
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments = [self.assignment()]
+        while self.at_op(","):
+            self.advance()
+            assignments.append(self.assignment())
+        where = self.optional_where()
+        self.expect_end()
+        return UpdateStatement(table=table,
+                               assignments=tuple(assignments),
+                               where=where)
+
+    def delete(self) -> DeleteStatement:
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = self.optional_where()
+        self.expect_end()
+        return DeleteStatement(table=table, where=where)
+
+    def assignment(self) -> Assignment:
+        column = self.expect_ident()
+        self.expect_op("=")
+        return Assignment(column=column, expression=self.set_expression())
+
+    def set_expression(self) -> SetExpr:
+        token = self.peek()
+        if token.kind in ("number", "string") or \
+                self.at_keyword("NULL", "TRUE", "FALSE"):
+            return Literal(self.literal_value())
+        column = self.expect_ident()
+        if self.at_op("+") or self.at_op("-") or self.at_op("*") \
+                or self.at_op("/"):
+            operator = self.advance().value
+            operand = self.literal_value()
+            if not isinstance(operand, (int, float)):
+                raise QueryError(
+                    f"arithmetic operand must be numeric, got "
+                    f"{operand!r}")
+            return Arithmetic(column=column, operator=operator,
+                              operand=operand)
+        return ColumnRef(name=column)
+
+    def optional_where(self) -> Condition | None:
+        if self.at_keyword("WHERE"):
+            self.advance()
+            return self.condition()
+        return None
+
+    def condition(self) -> Condition:
+        left = self.conjunction()
+        while self.at_keyword("OR"):
+            self.advance()
+            left = BoolOp("or", left, self.conjunction())
+        return left
+
+    def conjunction(self) -> Condition:
+        left = self.condition_atom()
+        while self.at_keyword("AND"):
+            self.advance()
+            left = BoolOp("and", left, self.condition_atom())
+        return left
+
+    def condition_atom(self) -> Condition:
+        if self.at_keyword("NOT"):
+            self.advance()
+            return NotOp(self.condition_atom())
+        if self.at_op("("):
+            self.advance()
+            inner = self.condition()
+            self.expect_op(")")
+            return inner
+        column = self.expect_ident()
+        if self.at_keyword("IS"):
+            self.advance()
+            if self.at_keyword("NOT"):
+                self.advance()
+                self.expect_keyword("NULL")
+                return Comparison(column, "notnull")
+            self.expect_keyword("NULL")
+            return Comparison(column, "isnull")
+        token = self.advance()
+        if token.kind != "op" or token.value not in (
+                "=", "!=", "<>", "<", "<=", ">", ">="):
+            raise QueryError(
+                f"expected comparison operator at position "
+                f"{token.position}, got {token.value!r}")
+        operator = "!=" if token.value == "<>" else token.value
+        return Comparison(column, operator, self.literal_value())
+
+    def literal_value(self) -> Any:
+        token = self.advance()
+        if token.kind in ("number", "string"):
+            return token.value
+        if token.kind == "keyword":
+            if token.value == "NULL":
+                return None
+            if token.value == "TRUE":
+                return True
+            if token.value == "FALSE":
+                return False
+        raise QueryError(
+            f"expected literal at position {token.position}, got "
+            f"{token.value!r}")
+
+
+def parse(sql: str) -> Statement:
+    """Parse one SQL statement into its AST."""
+    return _Parser(tokenize(sql)).statement()
+
+
+# ---------------------------------------------------------------------------
+# compilation & execution
+# ---------------------------------------------------------------------------
+
+
+def compile_condition(condition: Condition | None) -> Predicate:
+    """Compile a WHERE AST into a row predicate."""
+    if condition is None:
+        return ALWAYS
+    if isinstance(condition, Comparison):
+        column = P(condition.column)
+        operator = condition.operator
+        if operator == "isnull":
+            return column.is_null()
+        if operator == "notnull":
+            return ~column.is_null()
+        value = condition.value
+        return {
+            "=": lambda: column == value,
+            "!=": lambda: column != value,
+            "<": lambda: column < value,
+            "<=": lambda: column <= value,
+            ">": lambda: column > value,
+            ">=": lambda: column >= value,
+        }[operator]()
+    if isinstance(condition, BoolOp):
+        left = compile_condition(condition.left)
+        right = compile_condition(condition.right)
+        return left & right if condition.operator == "and" else left | right
+    if isinstance(condition, NotOp):
+        return ~compile_condition(condition.operand)
+    raise QueryError(f"unknown condition node {condition!r}")
+
+
+def _evaluate_set(expression: SetExpr, row: Row) -> Any:
+    if isinstance(expression, Literal):
+        return expression.value
+    if isinstance(expression, ColumnRef):
+        return row[expression.name]
+    if isinstance(expression, Arithmetic):
+        current = row[expression.column]
+        operand = expression.operand
+        if expression.operator == "+":
+            return current + operand
+        if expression.operator == "-":
+            return current - operand
+        if expression.operator == "*":
+            return current * operand
+        if operand == 0:
+            raise QueryError("division by zero in SET expression")
+        return current / operand
+    raise QueryError(f"unknown SET expression {expression!r}")
+
+
+def execute(txn: Transaction, sql: str) -> list[Row] | int:
+    """Execute one statement inside an open transaction.
+
+    SELECT returns the matching rows (projected when columns are
+    given — projections are returned as plain dicts); INSERT/UPDATE/
+    DELETE return the affected row count.
+    """
+    statement = parse(sql)
+    if isinstance(statement, SelectStatement):
+        rows = txn.select(statement.table,
+                          compile_condition(statement.where))
+        if statement.aggregates:
+            return [_evaluate_aggregates(statement.aggregates, rows)]
+        if statement.order_by is not None:
+            column = statement.order_by.column
+            rows = sorted(rows, key=lambda row: row[column],
+                          reverse=statement.order_by.descending)
+        if statement.limit is not None:
+            rows = rows[:statement.limit]
+        if statement.columns is None:
+            return rows
+        return [
+            {column: row[column] for column in statement.columns}
+            for row in rows
+        ]  # type: ignore[return-value]
+    if isinstance(statement, InsertStatement):
+        txn.insert(statement.table,
+                   dict(zip(statement.columns, statement.values)))
+        return 1
+    if isinstance(statement, UpdateStatement):
+        def apply_sets(row: Row) -> dict[str, Any]:
+            return {assignment.column:
+                    _evaluate_set(assignment.expression, row)
+                    for assignment in statement.assignments}
+
+        updated = txn.update(statement.table,
+                             compile_condition(statement.where),
+                             apply_sets)
+        return len(updated)
+    if isinstance(statement, DeleteStatement):
+        return txn.delete(statement.table,
+                          compile_condition(statement.where))
+    raise QueryError(f"unknown statement {statement!r}")
+
+
+def _evaluate_aggregates(aggregates: Sequence[Aggregate],
+                         rows: Sequence[Row]) -> dict[str, Any]:
+    """Fold the matching rows into one aggregate result row."""
+    result: dict[str, Any] = {}
+    for aggregate in aggregates:
+        if aggregate.column is None:
+            label = "count(*)"
+            result[label] = len(rows)
+            continue
+        label = f"{aggregate.function}({aggregate.column})"
+        values = [row[aggregate.column] for row in rows
+                  if row[aggregate.column] is not None]
+        if aggregate.function == "count":
+            result[label] = len(values)
+        elif aggregate.function == "sum":
+            result[label] = sum(values) if values else 0
+        elif aggregate.function == "avg":
+            result[label] = (sum(values) / len(values)) if values else None
+        elif aggregate.function == "min":
+            result[label] = min(values) if values else None
+        elif aggregate.function == "max":
+            result[label] = max(values) if values else None
+    return result
+
+
+def run(database: Database, sql: str) -> list[Row] | int:
+    """Execute one statement in a fresh autocommitted transaction."""
+    with database.begin() as txn:
+        return execute(txn, sql)
+
+
+def split_statements(script: str) -> list[str]:
+    """Split a ``;``-separated script, respecting string literals."""
+    statements: list[str] = []
+    current: list[str] = []
+    in_string = False
+    index = 0
+    while index < len(script):
+        char = script[index]
+        if char == "'":
+            # handle the '' escape inside literals
+            if in_string and script[index + 1:index + 2] == "'":
+                current.append("''")
+                index += 2
+                continue
+            in_string = not in_string
+            current.append(char)
+        elif char == ";" and not in_string:
+            text = "".join(current).strip()
+            if text:
+                statements.append(text)
+            current = []
+        else:
+            current.append(char)
+        index += 1
+    tail = "".join(current).strip()
+    if tail:
+        statements.append(tail)
+    return statements
+
+
+def run_script(database: Database, script: str) -> list[list[Row] | int]:
+    """Execute a ``;``-separated script as ONE transaction.
+
+    All statements commit together; any failure aborts them all.
+    Returns each statement's result, in order.
+    """
+    results: list[list[Row] | int] = []
+    with database.begin() as txn:
+        for statement in split_statements(script):
+            results.append(execute(txn, statement))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# semantic classification (the GTM bridge)
+# ---------------------------------------------------------------------------
+
+
+def classify_set(assignment: Assignment) -> tuple[OperationClass, Any]:
+    """Map one SET clause to its Table I class and operand.
+
+    - ``col = literal``                      → UPDATE_ASSIGN, literal
+    - ``col = col ± literal``                → UPDATE_ADDSUB, ±literal
+    - ``col = col * literal`` / ``/ lit``    → UPDATE_MULDIV, factor
+    - ``col = other_col`` or self-arithmetic on a *different* column →
+      UPDATE_ASSIGN (no commuting structure to exploit).
+    """
+    expression = assignment.expression
+    if isinstance(expression, Literal):
+        return OperationClass.UPDATE_ASSIGN, expression.value
+    if isinstance(expression, Arithmetic) and \
+            expression.column == assignment.column:
+        if expression.operator == "+":
+            return OperationClass.UPDATE_ADDSUB, expression.operand
+        if expression.operator == "-":
+            return OperationClass.UPDATE_ADDSUB, -expression.operand
+        if expression.operator == "*":
+            if expression.operand == 0:
+                raise QueryError("multiplication by zero is an "
+                                 "assignment, write col = 0")
+            return OperationClass.UPDATE_MULDIV, expression.operand
+        if expression.operand == 0:
+            raise QueryError("division by zero in SET expression")
+        return OperationClass.UPDATE_MULDIV, 1.0 / expression.operand
+    # reading another column (or arithmetic on one): no commutativity
+    return OperationClass.UPDATE_ASSIGN, None
+
+
+def classify_update(sql: str) -> list[tuple[str, OperationClass, Any]]:
+    """Classify every SET clause of an UPDATE statement.
+
+    Returns ``[(column, operation class, operand), ...]`` — the
+    "a-priori known operation semantics" the GTM consumes.
+    """
+    statement = parse(sql)
+    if not isinstance(statement, UpdateStatement):
+        raise QueryError("classify_update expects an UPDATE statement")
+    result = []
+    for assignment in statement.assignments:
+        op_class, operand = classify_set(assignment)
+        result.append((assignment.column, op_class, operand))
+    return result
+
+
+def update_invocations(sql: str) -> list[Invocation]:
+    """Turn an UPDATE statement into GTM invocations, one per SET clause.
+
+    The member name is the column name, so a structured managed object
+    bound to the row can host all of them.  Clauses classified as
+    assignment-of-another-column are rejected (their operand is not
+    statically known).
+    """
+    invocations = []
+    for column, op_class, operand in classify_update(sql):
+        if operand is None:
+            raise QueryError(
+                f"SET {column} = <non-literal> has no static operand; "
+                f"the GTM needs a-priori operation semantics")
+        invocations.append(Invocation(op_class, member=column,
+                                      operand=operand))
+    return invocations

@@ -1,0 +1,15 @@
+"""Metrics: per-transaction timelines, aggregates, and text reports."""
+
+from repro.metrics.collectors import MetricsCollector, TxnTimeline
+from repro.metrics.stats import RunStats, summarize
+from repro.metrics.report import render_table
+from repro.metrics.trace import render_gantt
+
+__all__ = [
+    "MetricsCollector",
+    "RunStats",
+    "TxnTimeline",
+    "render_gantt",
+    "render_table",
+    "summarize",
+]

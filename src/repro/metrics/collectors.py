@@ -1,0 +1,112 @@
+"""Per-transaction timelines and the collector that builds them."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Outcome(enum.Enum):
+    """Final fate of a transaction in a run."""
+
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    UNFINISHED = "unfinished"
+
+
+@dataclass
+class TxnTimeline:
+    """Milestones of one transaction (virtual-time seconds)."""
+
+    txn_id: str
+    arrival: float = 0.0
+    first_grant: float | None = None
+    commit_requested: float | None = None
+    finished: float | None = None
+    outcome: Outcome = Outcome.UNFINISHED
+    abort_reason: str = ""
+    #: Total time spent in wait queues.
+    wait_time: float = 0.0
+    #: Total time spent sleeping (disconnected / inactive).
+    sleep_time: float = 0.0
+    #: How many times the transaction slept.
+    sleeps: int = 0
+    #: Closed (kind, start, end) intervals; kind is "wait" or "sleep".
+    intervals: list[tuple[str, float, float]] = field(default_factory=list)
+    _wait_started: float | None = field(default=None, repr=False)
+    _sleep_started: float | None = field(default=None, repr=False)
+
+    # -- event recording ------------------------------------------------------
+
+    def on_wait_start(self, now: float) -> None:
+        if self._wait_started is None:
+            self._wait_started = now
+
+    def on_wait_end(self, now: float) -> None:
+        if self._wait_started is not None:
+            self.wait_time += now - self._wait_started
+            self.intervals.append(("wait", self._wait_started, now))
+            self._wait_started = None
+
+    def on_sleep_start(self, now: float) -> None:
+        if self._sleep_started is None:
+            self._sleep_started = now
+            self.sleeps += 1
+
+    def on_sleep_end(self, now: float) -> None:
+        if self._sleep_started is not None:
+            self.sleep_time += now - self._sleep_started
+            self.intervals.append(("sleep", self._sleep_started, now))
+            self._sleep_started = None
+
+    def on_commit(self, now: float) -> None:
+        self.on_wait_end(now)
+        self.on_sleep_end(now)
+        self.finished = now
+        self.outcome = Outcome.COMMITTED
+
+    def on_abort(self, now: float, reason: str = "") -> None:
+        self.on_wait_end(now)
+        self.on_sleep_end(now)
+        self.finished = now
+        self.outcome = Outcome.ABORTED
+        self.abort_reason = reason
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def execution_time(self) -> float | None:
+        """Arrival-to-finish latency (None while unfinished)."""
+        if self.finished is None:
+            return None
+        return self.finished - self.arrival
+
+
+class MetricsCollector:
+    """Owns every timeline of a run."""
+
+    def __init__(self) -> None:
+        self.timelines: dict[str, TxnTimeline] = {}
+
+    def arrival(self, txn_id: str, now: float) -> TxnTimeline:
+        timeline = TxnTimeline(txn_id=txn_id, arrival=now)
+        self.timelines[txn_id] = timeline
+        return timeline
+
+    def of(self, txn_id: str) -> TxnTimeline:
+        return self.timelines[txn_id]
+
+    def committed(self) -> list[TxnTimeline]:
+        return [t for t in self.timelines.values()
+                if t.outcome is Outcome.COMMITTED]
+
+    def aborted(self) -> list[TxnTimeline]:
+        return [t for t in self.timelines.values()
+                if t.outcome is Outcome.ABORTED]
+
+    def unfinished(self) -> list[TxnTimeline]:
+        return [t for t in self.timelines.values()
+                if t.outcome is Outcome.UNFINISHED]
+
+    def __len__(self) -> int:
+        return len(self.timelines)

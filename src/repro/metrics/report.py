@@ -1,0 +1,47 @@
+"""Plain-text table rendering for experiment output.
+
+The bench harness prints the same rows/series the paper's figures plot;
+this module renders them as aligned ASCII tables so the regenerated
+artifacts are readable in a terminal and diffable in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w)
+                                for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_records(records: Sequence[Mapping[str, Any]],
+                   title: str = "") -> str:
+    """Render a list of homogeneous dicts as a table."""
+    if not records:
+        return title or "(no rows)"
+    headers = list(records[0])
+    rows = [[record.get(h, "") for h in headers] for record in records]
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,75 @@
+"""ASCII Gantt rendering of a run's transaction timelines.
+
+One row per transaction, the time axis across the terminal:
+
+- ``=`` active execution,
+- ``w`` blocked in a wait queue,
+- ``z`` sleeping (disconnected / idle),
+- ``C`` commit, ``X`` abort, ``.`` not yet arrived / already gone.
+
+Useful for eyeballing small scenarios (the examples print these) and
+for documentation; the aggregate statistics live in
+:mod:`repro.metrics.stats`.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.collectors import MetricsCollector, Outcome, TxnTimeline
+
+
+def _symbol_at(timeline: TxnTimeline, time: float) -> str:
+    if time < timeline.arrival:
+        return "."
+    if timeline.finished is not None and time > timeline.finished:
+        return "."
+    for kind, start, end in timeline.intervals:
+        if start <= time < end:
+            return "w" if kind == "wait" else "z"
+    return "="
+
+
+def render_gantt(collector: MetricsCollector, width: int = 64,
+                 until: float | None = None) -> str:
+    """Render every timeline as one Gantt row.
+
+    ``width`` is the number of character cells of the time axis;
+    ``until`` clips the horizon (default: the last finish time).
+    """
+    timelines = sorted(collector.timelines.values(),
+                       key=lambda t: (t.arrival, t.txn_id))
+    if not timelines:
+        return "(no transactions)"
+    horizon = until
+    if horizon is None:
+        ends = [t.finished for t in timelines if t.finished is not None]
+        starts = [t.arrival for t in timelines]
+        horizon = max(ends) if ends else max(starts) + 1.0
+    horizon = max(horizon, 1e-9)
+    label_width = max(len(t.txn_id) for t in timelines)
+    cell = horizon / width
+    lines = [
+        f"{'':{label_width}}  0{'s':<{width - 6}}{horizon:.1f}s",
+        f"{'':{label_width}}  {'-' * width}",
+    ]
+    for timeline in timelines:
+        cells = []
+        for index in range(width):
+            time = (index + 0.5) * cell
+            symbol = _symbol_at(timeline, time)
+            cells.append(symbol)
+        if timeline.finished is not None:
+            index = min(width - 1, int(timeline.finished / cell))
+            cells[index] = ("C" if timeline.outcome is Outcome.COMMITTED
+                            else "X")
+        suffix = {
+            Outcome.COMMITTED: "committed",
+            Outcome.ABORTED: f"aborted ({timeline.abort_reason})"
+            if timeline.abort_reason else "aborted",
+            Outcome.UNFINISHED: "unfinished",
+        }[timeline.outcome]
+        lines.append(
+            f"{timeline.txn_id:{label_width}}  {''.join(cells)}  {suffix}")
+    lines.append("")
+    lines.append("legend: = running   w waiting   z sleeping   "
+                 "C commit   X abort")
+    return "\n".join(lines)

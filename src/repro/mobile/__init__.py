@@ -1,0 +1,33 @@
+"""Mobile-environment substrate: disconnections, inactivity, sessions.
+
+The paper's motivating setting is "mobile clients ... in a network with
+frequent disconnections (e.g. wireless network)" plus "long inactivity
+periods of users".  Both phenomena look identical to the scheduler — the
+transaction goes quiet for a while — and map onto the GTM's
+⟨sleep⟩/⟨awake⟩ events.
+
+- :mod:`repro.mobile.network` — stochastic disconnection processes
+  (Bernoulli per-transaction, renewal up/down processes);
+- :mod:`repro.mobile.client` — think-time models for user inactivity;
+- :mod:`repro.mobile.session` — a client session combining both into
+  the sleep/awake intervals a transaction experiences.
+"""
+
+from repro.mobile.client import ThinkTimeModel
+from repro.mobile.network import (
+    BernoulliDisconnection,
+    DisconnectionEvent,
+    DisconnectionModel,
+    RenewalDisconnection,
+)
+from repro.mobile.session import MobileSession, SessionPlan
+
+__all__ = [
+    "BernoulliDisconnection",
+    "DisconnectionEvent",
+    "DisconnectionModel",
+    "MobileSession",
+    "RenewalDisconnection",
+    "SessionPlan",
+    "ThinkTimeModel",
+]

@@ -1,0 +1,60 @@
+"""User inactivity (think-time) models.
+
+A long running transaction is long mostly because the human behind it
+thinks, compares options and walks away from the device.  The GTM treats
+long inactivity exactly like a disconnection (a ⟨sleep⟩); the think-time
+model decides how much *active* service time a transaction needs and how
+user pauses stretch it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ThinkTimeModel:
+    """Service-time generator for interactive transactions.
+
+    ``base_mean`` is the mean active work time (seconds); ``jitter``
+    scales a lognormal multiplier (0 = deterministic).  ``idle_threshold``
+    is the inactivity length beyond which the middleware declares the
+    transaction sleeping rather than merely slow — pauses shorter than
+    the threshold are folded into the service time, longer ones become
+    explicit sleep intervals in the session plan.
+    """
+
+    base_mean: float = 2.0
+    jitter: float = 0.0
+    idle_threshold: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.base_mean <= 0:
+            raise ValueError(f"base_mean must be positive: {self.base_mean}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0: {self.jitter}")
+        if self.idle_threshold <= 0:
+            raise ValueError(
+                f"idle_threshold must be positive: {self.idle_threshold}")
+
+    def work_time(self, rng: np.random.Generator) -> float:
+        """Draw one transaction's active service time."""
+        if self.jitter == 0.0:
+            return self.base_mean
+        multiplier = float(rng.lognormal(mean=0.0, sigma=self.jitter))
+        return self.base_mean * multiplier
+
+    def long_pause(self, rng: np.random.Generator,
+                   pause_probability: float,
+                   pause_mean: float) -> float | None:
+        """Draw an inactivity pause longer than the idle threshold.
+
+        Returns the pause duration, or None when the user stays active.
+        Used by the inactivity-driven sessions (as opposed to the
+        network-driven ones).
+        """
+        if rng.random() >= pause_probability:
+            return None
+        return self.idle_threshold + float(rng.exponential(pause_mean))

@@ -1,0 +1,78 @@
+"""Mobile sessions: the sleep/awake plan of one transaction.
+
+A :class:`SessionPlan` is what the schedulers consume: the transaction's
+active service time plus a sorted list of outages (from the network
+model and/or long user pauses).  :class:`MobileSession` turns a plan
+into the concrete phase sequence (work, sleep, work, ...) a simulated
+client walks through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.mobile.client import ThinkTimeModel
+from repro.mobile.network import DisconnectionEvent, DisconnectionModel
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """The fixed itinerary of one transaction's client session."""
+
+    work_time: float
+    outages: tuple[DisconnectionEvent, ...] = ()
+
+    @property
+    def disconnects(self) -> bool:
+        return bool(self.outages)
+
+    @property
+    def total_sleep(self) -> float:
+        return sum(event.duration for event in self.outages)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One step of a session: either work or sleep for ``duration``."""
+
+    kind: str  # "work" | "sleep"
+    duration: float
+
+
+class MobileSession:
+    """Expands a :class:`SessionPlan` into an ordered phase sequence."""
+
+    def __init__(self, plan: SessionPlan) -> None:
+        self.plan = plan
+
+    def phases(self) -> Iterator[Phase]:
+        """Yield work and sleep phases in execution order.
+
+        Outages are positioned by their ``at_fraction`` of the *active*
+        work time; the work segments between them are emitted in order.
+        Zero-length work segments are skipped.
+        """
+        outages = sorted(self.plan.outages, key=lambda e: e.at_fraction)
+        cursor = 0.0
+        for event in outages:
+            position = min(max(event.at_fraction, 0.0), 1.0)
+            segment = (position - cursor) * self.plan.work_time
+            if segment > 0:
+                yield Phase("work", segment)
+            yield Phase("sleep", event.duration)
+            cursor = position
+        tail = (1.0 - cursor) * self.plan.work_time
+        if tail > 0:
+            yield Phase("work", tail)
+
+
+def build_plan(rng: np.random.Generator,
+               think: ThinkTimeModel,
+               network: DisconnectionModel) -> SessionPlan:
+    """Draw one session plan from a think-time and a network model."""
+    work_time = think.work_time(rng)
+    outages = tuple(network.plan(rng, work_time))
+    return SessionPlan(work_time=work_time, outages=outages)

@@ -1,0 +1,240 @@
+"""The GTM scheduler: the paper's middleware driven by simulated clients.
+
+Each transaction profile becomes one simulation process that walks its
+itinerary (invoke / work / sleep / commit) against a shared
+:class:`~repro.core.gtm.GlobalTransactionManager`:
+
+- a queued invocation parks the process on a per-transaction signal that
+  the GTM observer fires when ⟨unlock, X⟩ (Algorithm 11) grants it;
+- a disconnection emits ⟨sleep, A⟩, the reconnection ⟨awake, A⟩ — if the
+  awakening detects conflicts (Algorithm 9, third case) the transaction
+  is aborted and the client gives up;
+- the commit request may be deferred behind another committer on the
+  same object (Algorithm 3); the process then retries on every
+  commit-slot signal until its staging completes.
+
+Observer callbacks never resume processes synchronously: they schedule
+signal fires at ``now + 0`` so the GTM's own event handling finishes
+before any client reacts (no re-entrancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.errors import SSTFailure
+from repro.core.gtm import (
+    GlobalTransactionManager,
+    GTMConfig,
+    GTMObserver,
+    GrantOutcome,
+)
+from repro.core.objects import ManagedObject, ObjectBinding
+from repro.core.opclass import Invocation
+from repro.core.sst import SSTExecutor
+from repro.core.states import TransactionState
+from repro.core.transaction import GTMTransaction
+from repro.metrics.collectors import MetricsCollector
+from repro.schedulers.base import (
+    CommitAction,
+    InvokeAction,
+    Scheduler,
+    SchedulerResult,
+    SleepAction,
+    WorkAction,
+    build_itinerary,
+)
+from repro.sim.engine import SimulationEngine
+from repro.sim.process import Process, Signal, Timeout, WaitEvent
+from repro.workload.spec import TransactionProfile, Workload
+
+
+@dataclass
+class GTMSchedulerConfig:
+    """Scheduler-level knobs (the protocol knobs live in GTMConfig)."""
+
+    gtm_config: GTMConfig = field(default_factory=GTMConfig)
+    #: Abort a transaction whose lock wait exceeds this (None = wait
+    #: forever; the paper's single-object workload cannot deadlock).
+    wait_timeout: float | None = None
+    #: Optional SST executor (binds commits to an LDBS).
+    sst_executor: SSTExecutor | None = None
+    #: Bindings applied to created objects (object name -> binding).
+    bindings: dict[str, ObjectBinding] = field(default_factory=dict)
+
+
+class _SignallingObserver(GTMObserver):
+    """Relays GTM events to per-transaction signals and the metrics."""
+
+    def __init__(self, engine: SimulationEngine,
+                 collector: MetricsCollector) -> None:
+        self.engine = engine
+        self.collector = collector
+        self.wake_signals: dict[str, Signal] = {}
+        #: fired (deferred) after every global commit/abort: commit-slot
+        #: waiters and grant retries piggyback on it.
+        self.commit_slot = Signal("gtm.commit-slot")
+
+    def signal_for(self, txn_id: str) -> Signal:
+        signal = self.wake_signals.get(txn_id)
+        if signal is None:
+            signal = Signal(f"gtm.wake.{txn_id}")
+            self.wake_signals[txn_id] = signal
+        return signal
+
+    def _fire_later(self, signal: Signal, payload: Any) -> None:
+        self.engine.schedule_after(
+            0.0, lambda _e: signal.fire(payload),
+            label=f"fire:{signal.name}")
+
+    # -- GTMObserver hooks -----------------------------------------------------
+
+    def on_grant(self, txn: GTMTransaction, obj: ManagedObject,
+                 invocation: Invocation, now: float) -> None:
+        self._fire_later(self.signal_for(txn.txn_id), ("grant", obj.name))
+
+    def on_wait(self, txn: GTMTransaction, obj: ManagedObject,
+                invocation: Invocation, now: float) -> None:
+        timeline = self.collector.timelines.get(txn.txn_id)
+        if timeline is not None:
+            timeline.on_wait_start(now)
+
+    def on_global_commit(self, txn: GTMTransaction, now: float) -> None:
+        self._fire_later(self.commit_slot, ("commit", txn.txn_id))
+
+    def on_global_abort(self, txn: GTMTransaction, now: float,
+                        reason: str) -> None:
+        self._fire_later(self.commit_slot, ("abort", txn.txn_id))
+        self._fire_later(self.signal_for(txn.txn_id), ("aborted", reason))
+
+
+class GTMScheduler(Scheduler):
+    """Runs a workload through the Global Transaction Manager."""
+
+    name = "gtm"
+
+    def __init__(self, config: GTMSchedulerConfig | None = None) -> None:
+        self.config = config or GTMSchedulerConfig()
+        #: the GTM of the most recent run (for post-run inspection,
+        #: e.g. repro.core.history.check_serializable).
+        self.last_gtm: GlobalTransactionManager | None = None
+
+    def run(self, workload: Workload) -> SchedulerResult:
+        engine = SimulationEngine()
+        collector = MetricsCollector()
+        observer = _SignallingObserver(engine, collector)
+        gtm = GlobalTransactionManager(
+            config=self.config.gtm_config,
+            clock=lambda: engine.now,
+            sst_executor=self.config.sst_executor,
+            observer=observer,
+        )
+        for name, value in workload.initial_values.items():
+            gtm.create_object(name, value=value,
+                              binding=self.config.bindings.get(name))
+        self.last_gtm = gtm
+        for profile in workload:
+            body = self._client(profile, gtm, observer, collector)
+            Process(engine, body, name=profile.txn_id,
+                    start_delay=profile.arrival_time)
+        makespan = engine.run()
+        final_values = {name: obj.permanent_value()
+                        for name, obj in gtm.objects.items()}
+        extra = {
+            "sst_executions": (self.config.sst_executor.executed
+                               if self.config.sst_executor else 0),
+            "sst_failures": (self.config.sst_executor.failed
+                             if self.config.sst_executor else 0),
+            "events_dispatched": engine.events_dispatched,
+        }
+        return self._result(collector, makespan, final_values, extra)
+
+    # -- the client process ------------------------------------------------------
+
+    def _client(self, profile: TransactionProfile,
+                gtm: GlobalTransactionManager,
+                observer: _SignallingObserver,
+                collector: MetricsCollector) -> Generator[Any, Any, None]:
+        txn_id = profile.txn_id
+        timeline = collector.arrival(txn_id, 0.0)  # arrival set below
+        wake = observer.signal_for(txn_id)
+
+        def now() -> float:
+            return gtm.now()
+
+        timeline.arrival = now()
+        gtm.begin(txn_id, priority=profile.priority)
+        for action in build_itinerary(profile):
+            if isinstance(action, InvokeAction):
+                outcome = gtm.invoke(txn_id, action.step.object_name,
+                                     action.step.invocation)
+                if outcome == GrantOutcome.ABORTED:
+                    # the request closed a wait-for cycle and this
+                    # transaction was the chosen victim
+                    timeline.on_abort(now(), reason="deadlock-victim")
+                    return
+                if outcome == GrantOutcome.QUEUED:
+                    granted = yield from self._await_grant(
+                        txn_id, gtm, wake, timeline)
+                    if not granted:
+                        return
+                timeline.on_wait_end(now())
+                gtm.apply(txn_id, action.step.object_name,
+                          action.step.invocation)
+            elif isinstance(action, WorkAction):
+                yield Timeout(action.duration)
+            elif isinstance(action, SleepAction):
+                gtm.sleep(txn_id)
+                timeline.on_sleep_start(now())
+                yield Timeout(action.duration)
+                timeline.on_sleep_end(now())
+                if not gtm.awake(txn_id):
+                    timeline.on_abort(now(), reason="sleep-conflict")
+                    return
+            elif isinstance(action, CommitAction):
+                committed = yield from self._commit(txn_id, gtm, observer,
+                                                    timeline)
+                if committed:
+                    timeline.on_commit(now())
+                return
+
+    def _await_grant(self, txn_id: str, gtm: GlobalTransactionManager,
+                     wake: Any, timeline: Any) -> Generator[Any, Any, bool]:
+        """Wait until granted; handles timeout-abort and external abort."""
+        while True:
+            payload = yield WaitEvent(wake, timeout=self.config.wait_timeout)
+            if payload is WaitEvent.TIMED_OUT:
+                gtm.abort(txn_id, reason="wait-timeout")
+                timeline.on_abort(gtm.now(), reason="wait-timeout")
+                return False
+            kind = payload[0] if isinstance(payload, tuple) else payload
+            if kind == "grant":
+                return True
+            if kind == "aborted":
+                timeline.on_abort(gtm.now(), reason=str(payload[1]))
+                return False
+
+    def _commit(self, txn_id: str, gtm: GlobalTransactionManager,
+                observer: _SignallingObserver,
+                timeline: Any) -> Generator[Any, Any, bool]:
+        """Drive the commit to completion, retrying deferred staging."""
+        try:
+            report = gtm.request_commit(txn_id)
+        except SSTFailure as failure:
+            timeline.on_abort(gtm.now(), reason=failure.reason)
+            return False
+        if report is not None or gtm.transaction(txn_id).is_in(
+                TransactionState.COMMITTED):
+            return True
+        while gtm.transaction(txn_id).is_in(TransactionState.COMMITTING):
+            yield WaitEvent(observer.commit_slot)
+            if not gtm.transaction(txn_id).is_in(
+                    TransactionState.COMMITTING):
+                break
+            try:
+                gtm.try_finish_commit(txn_id)
+            except SSTFailure as failure:
+                timeline.on_abort(gtm.now(), reason=failure.reason)
+                return False
+        return gtm.transaction(txn_id).is_in(TransactionState.COMMITTED)

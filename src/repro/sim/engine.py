@@ -1,0 +1,196 @@
+"""The discrete-event engine: an ordered event queue plus a dispatcher."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+Callback = Callable[["SimulationEngine"], Any]
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """Heap entry.  Ordering is (time, priority, sequence)."""
+
+    time: float
+    priority: int
+    sequence: int
+    event: "ScheduledEvent" = field(compare=False)
+
+
+class ScheduledEvent:
+    """Handle for an event sitting in (or already popped from) the queue.
+
+    The handle supports cancellation: a cancelled event stays in the heap
+    but is skipped by the dispatcher.  This gives O(1) cancel without heap
+    surgery, which matters because lock-wait timeouts are cancelled far
+    more often than they fire.
+    """
+
+    __slots__ = ("time", "priority", "sequence", "callback", "label",
+                 "cancelled", "dispatched")
+
+    def __init__(self, time: float, priority: int, sequence: int,
+                 callback: Callback, label: str = "") -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self.dispatched = False
+
+    def cancel(self) -> bool:
+        """Cancel the event.  Returns False if it already ran."""
+        if self.dispatched:
+            return False
+        self.cancelled = True
+        return True
+
+    @property
+    def alive(self) -> bool:
+        """True while the event is pending (not cancelled, not dispatched)."""
+        return not (self.cancelled or self.dispatched)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else (
+            "dispatched" if self.dispatched else "pending")
+        label = f" {self.label!r}" if self.label else ""
+        return f"<ScheduledEvent t={self.time}{label} {state}>"
+
+
+class SimulationEngine:
+    """Owns the virtual clock and the event queue.
+
+    Typical use::
+
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda eng: print(eng.now))
+        engine.run()
+
+    Events with the same timestamp dispatch in (priority, insertion) order,
+    which makes schedules fully deterministic.
+    """
+
+    #: Default priority; lower numbers dispatch first at equal timestamps.
+    DEFAULT_PRIORITY = 0
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = VirtualClock(start_time)
+        self._queue: list[_QueueEntry] = []
+        self._sequence = itertools.count()
+        self._events_dispatched = 0
+        self._running = False
+        self._stopped = False
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.clock.now
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for entry in self._queue if entry.event.alive)
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total callbacks executed so far."""
+        return self._events_dispatched
+
+    def peek(self) -> float | None:
+        """Timestamp of the next live event, or None if the queue is drained."""
+        self._drop_dead_head()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule_at(self, when: float, callback: Callback, *,
+                    priority: int = DEFAULT_PRIORITY,
+                    label: str = "") -> ScheduledEvent:
+        """Schedule ``callback`` at absolute virtual time ``when``."""
+        if when < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {when} < {self.clock.now}"
+            )
+        event = ScheduledEvent(when, priority, next(self._sequence),
+                               callback, label)
+        heapq.heappush(
+            self._queue,
+            _QueueEntry(when, priority, event.sequence, event),
+        )
+        return event
+
+    def schedule_after(self, delay: float, callback: Callback, *,
+                       priority: int = DEFAULT_PRIORITY,
+                       label: str = "") -> ScheduledEvent:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self.clock.now + delay, callback,
+                                priority=priority, label=label)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Dispatch the next live event.  Returns False when none remain."""
+        self._drop_dead_head()
+        if not self._queue:
+            return False
+        entry = heapq.heappop(self._queue)
+        event = entry.event
+        self.clock.advance_to(event.time)
+        event.dispatched = True
+        self._events_dispatched += 1
+        event.callback(self)
+        return True
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or the event
+        budget ``max_events`` is exhausted.  Returns the final virtual time.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run)")
+        self._running = True
+        self._stopped = False
+        dispatched = 0
+        try:
+            while not self._stopped:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.clock.advance_to(until)
+                    break
+                if max_events is not None and dispatched >= max_events:
+                    break
+                self.step()
+                dispatched += 1
+        finally:
+            self._running = False
+        return self.clock.now
+
+    def stop(self) -> None:
+        """Ask a running :meth:`run` loop to stop after the current event."""
+        self._stopped = True
+
+    # -- internals ----------------------------------------------------------
+
+    def _drop_dead_head(self) -> None:
+        """Pop cancelled events off the heap head (lazy deletion)."""
+        while self._queue and not self._queue[0].event.alive:
+            heapq.heappop(self._queue)
+
+    def __repr__(self) -> str:
+        return (f"<SimulationEngine now={self.now} pending={self.pending} "
+                f"dispatched={self._events_dispatched}>")

@@ -1,0 +1,55 @@
+"""Deterministic named random streams.
+
+Every stochastic component of the emulation (arrival process, operation
+mix, disconnection process, think times, ...) pulls from its own named
+stream.  Streams are derived from a single experiment seed with
+``numpy.random.SeedSequence.spawn``-style key derivation, so:
+
+- two components never share a stream (no accidental coupling);
+- adding a new component does not perturb existing streams;
+- a whole experiment reproduces bit-identically from one integer seed.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+class RandomStreams:
+    """A factory of independent, named ``numpy.random.Generator`` streams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """The root experiment seed."""
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        The stream key is derived from (root seed, crc32(name)), so the
+        same (seed, name) pair always yields the same sequence regardless
+        of creation order.
+        """
+        generator = self._streams.get(name)
+        if generator is None:
+            key = zlib.crc32(name.encode("utf-8"))
+            sequence = np.random.SeedSequence(entropy=self._seed,
+                                              spawn_key=(key,))
+            generator = np.random.default_rng(sequence)
+            self._streams[name] = generator
+        return generator
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Derive a child factory (e.g. one per repetition of a sweep)."""
+        key = zlib.crc32(name.encode("utf-8"))
+        return RandomStreams(seed=(self._seed * 1_000_003 + key) % 2**63)
+
+    def __repr__(self) -> str:
+        return (f"RandomStreams(seed={self._seed}, "
+                f"streams={sorted(self._streams)})")

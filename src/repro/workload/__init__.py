@@ -1,0 +1,33 @@
+"""Workload generation.
+
+- :mod:`repro.workload.spec` — transaction profiles and workload
+  containers shared by every scheduler;
+- :mod:`repro.workload.generator` — the paper's Section VI-B generator
+  (1000 transactions, 5 objects, 15 classes, α/β/γ parameters);
+- :mod:`repro.workload.travel` — the Section II travel-agency scenario
+  (multi-object package-tour transactions over an LDBS schema).
+"""
+
+from repro.workload.generator import (
+    GeneratedWorkload,
+    PaperWorkloadConfig,
+    TransactionClass,
+    generate_paper_workload,
+)
+from repro.workload.io import load_workload, save_workload
+from repro.workload.spec import TransactionProfile, TransactionStep, Workload
+from repro.workload.travel import TravelAgency, TravelWorkloadConfig
+
+__all__ = [
+    "GeneratedWorkload",
+    "PaperWorkloadConfig",
+    "TransactionClass",
+    "TransactionProfile",
+    "TransactionStep",
+    "TravelAgency",
+    "TravelWorkloadConfig",
+    "Workload",
+    "generate_paper_workload",
+    "load_workload",
+    "save_workload",
+]

@@ -1,0 +1,130 @@
+"""Workload serialization: save and replay exact transaction batches.
+
+A reproduced experiment is only as good as its inputs.  This module
+round-trips a :class:`~repro.workload.spec.Workload` through plain JSON
+so a generated batch (e.g. one Fig. 3 grid point) can be archived,
+diffed, shipped to a colleague, and replayed bit-identically against
+any scheduler.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import WorkloadError
+from repro.core.opclass import Invocation, OperationClass
+from repro.mobile.network import DisconnectionEvent
+from repro.mobile.session import SessionPlan
+from repro.workload.spec import (
+    TransactionProfile,
+    TransactionStep,
+    Workload,
+)
+
+#: Format marker so future layouts can migrate old files.
+FORMAT_VERSION = 1
+
+
+def invocation_to_dict(invocation: Invocation) -> dict[str, Any]:
+    return {
+        "op_class": invocation.op_class.value,
+        "member": invocation.member,
+        "operand": invocation.operand,
+    }
+
+
+def invocation_from_dict(data: dict[str, Any]) -> Invocation:
+    try:
+        op_class = OperationClass(data["op_class"])
+    except (KeyError, ValueError) as exc:
+        raise WorkloadError(f"bad invocation record {data!r}") from exc
+    return Invocation(op_class, member=data.get("member", "value"),
+                      operand=data.get("operand"))
+
+
+def _plan_to_dict(plan: SessionPlan) -> dict[str, Any]:
+    return {
+        "work_time": plan.work_time,
+        "outages": [{"at_fraction": event.at_fraction,
+                     "duration": event.duration}
+                    for event in plan.outages],
+    }
+
+
+def _plan_from_dict(data: dict[str, Any]) -> SessionPlan:
+    outages = tuple(DisconnectionEvent(at_fraction=o["at_fraction"],
+                                       duration=o["duration"])
+                    for o in data.get("outages", ()))
+    return SessionPlan(work_time=data["work_time"], outages=outages)
+
+
+def _profile_to_dict(profile: TransactionProfile) -> dict[str, Any]:
+    return {
+        "txn_id": profile.txn_id,
+        "arrival_time": profile.arrival_time,
+        "kind": profile.kind,
+        "class_id": profile.class_id,
+        "priority": profile.priority,
+        "plan": _plan_to_dict(profile.plan),
+        "steps": [{
+            "object_name": step.object_name,
+            "invocation": invocation_to_dict(step.invocation),
+            "work_fraction": step.work_fraction,
+        } for step in profile.steps],
+    }
+
+
+def _profile_from_dict(data: dict[str, Any]) -> TransactionProfile:
+    steps = tuple(TransactionStep(
+        object_name=s["object_name"],
+        invocation=invocation_from_dict(s["invocation"]),
+        work_fraction=s.get("work_fraction", 1.0),
+    ) for s in data["steps"])
+    return TransactionProfile(
+        txn_id=data["txn_id"],
+        arrival_time=data["arrival_time"],
+        steps=steps,
+        plan=_plan_from_dict(data["plan"]),
+        kind=data.get("kind", ""),
+        class_id=data.get("class_id", 0),
+        priority=data.get("priority", 0),
+    )
+
+
+def workload_to_dict(workload: Workload) -> dict[str, Any]:
+    """Serialize a workload to a JSON-safe dict."""
+    return {
+        "format": FORMAT_VERSION,
+        "description": workload.description,
+        "initial_values": dict(workload.initial_values),
+        "profiles": [_profile_to_dict(p) for p in workload.profiles],
+    }
+
+
+def workload_from_dict(data: dict[str, Any]) -> Workload:
+    """Rebuild a workload from :func:`workload_to_dict` output."""
+    version = data.get("format")
+    if version != FORMAT_VERSION:
+        raise WorkloadError(
+            f"unsupported workload format {version!r} "
+            f"(expected {FORMAT_VERSION})")
+    return Workload(
+        profiles=[_profile_from_dict(p) for p in data["profiles"]],
+        initial_values=dict(data["initial_values"]),
+        description=data.get("description", ""),
+    )
+
+
+def save_workload(workload: Workload, path: str | Path) -> Path:
+    """Write a workload to a JSON file; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(workload_to_dict(workload), indent=2,
+                                 sort_keys=True))
+    return target
+
+
+def load_workload(path: str | Path) -> Workload:
+    """Read a workload back from :func:`save_workload` output."""
+    return workload_from_dict(json.loads(Path(path).read_text()))

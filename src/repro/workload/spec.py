@@ -1,0 +1,113 @@
+"""Workload specification shared by every scheduler.
+
+A workload is a list of :class:`TransactionProfile` entries sorted by
+arrival time.  A profile is scheduler-agnostic: the GTM scheduler maps
+steps to invocations on managed objects, the 2PL baseline maps them to
+lock requests on the same resources, the optimistic baseline to
+deferred batches — which is what makes the Fig. 3 comparison honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.core.opclass import Invocation
+from repro.mobile.session import SessionPlan
+
+
+@dataclass(frozen=True)
+class TransactionStep:
+    """One operation of a transaction: an invocation on one object.
+
+    ``work_fraction`` is the share of the transaction's service time
+    spent on this step (fractions of a profile must sum to 1).
+    """
+
+    object_name: str
+    invocation: Invocation
+    work_fraction: float = 1.0
+
+
+@dataclass(frozen=True)
+class TransactionProfile:
+    """The full itinerary of one transaction."""
+
+    txn_id: str
+    arrival_time: float
+    steps: tuple[TransactionStep, ...]
+    plan: SessionPlan
+    #: Free-form label ("subtraction", "assignment", "package-tour", ...).
+    kind: str = ""
+    #: Workload class index (the paper's 15 classes).
+    class_id: int = 0
+    #: Base priority for the Section VII aging policy (larger wins).
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise WorkloadError(f"{self.txn_id!r} has no steps")
+        total = sum(step.work_fraction for step in self.steps)
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(
+                f"{self.txn_id!r}: work fractions sum to {total}, not 1")
+
+    @property
+    def objects(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(step.object_name for step in self.steps))
+
+    @property
+    def disconnects(self) -> bool:
+        return self.plan.disconnects
+
+
+@dataclass
+class Workload:
+    """An ordered batch of transaction profiles plus the object universe."""
+
+    profiles: list[TransactionProfile]
+    #: Object name -> initial value (atomic objects).
+    initial_values: dict[str, float] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.profiles.sort(key=lambda p: (p.arrival_time, p.txn_id))
+        missing = {step.object_name
+                   for profile in self.profiles
+                   for step in profile.steps} - set(self.initial_values)
+        if missing:
+            raise WorkloadError(
+                f"profiles reference objects without initial values: "
+                f"{sorted(missing)}")
+
+    def __iter__(self) -> Iterator[TransactionProfile]:
+        return iter(self.profiles)
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    @property
+    def object_names(self) -> tuple[str, ...]:
+        return tuple(self.initial_values)
+
+    def arrival_span(self) -> float:
+        if not self.profiles:
+            return 0.0
+        return self.profiles[-1].arrival_time - self.profiles[0].arrival_time
+
+
+def single_step_profile(txn_id: str, arrival_time: float, object_name: str,
+                        invocation: Invocation, plan: SessionPlan,
+                        kind: str = "", class_id: int = 0,
+                        priority: int = 0) -> TransactionProfile:
+    """Convenience for the paper's one-object transactions."""
+    return TransactionProfile(
+        txn_id=txn_id,
+        arrival_time=arrival_time,
+        steps=(TransactionStep(object_name, invocation),),
+        plan=plan,
+        kind=kind,
+        class_id=class_id,
+        priority=priority,
+    )

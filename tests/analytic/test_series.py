@@ -1,0 +1,74 @@
+"""Tests for the Fig. 1 / Fig. 2 series generators."""
+
+import pytest
+
+from repro.analytic.series import figure1_series, figure2_series
+
+
+class TestFigure1:
+    def test_default_grid_shape(self):
+        data = figure1_series()
+        assert len(data.twopl.x) == 11
+        assert len(data.ours) == 5
+        for series in data.ours:
+            assert len(series.x) == len(series.y) == 11
+
+    def test_twopl_endpoints(self):
+        data = figure1_series(n=100)
+        assert data.twopl.y[0] == 1.0
+        assert data.twopl.y[-1] == 1.5
+
+    def test_i_zero_curve_flat_at_ideal(self):
+        data = figure1_series()
+        assert all(y == 1.0 for y in data.ours[0].y)
+
+    def test_i_full_curve_equals_twopl(self):
+        data = figure1_series()
+        assert data.ours[-1].y == pytest.approx(data.twopl.y)
+
+    def test_labels_mention_incompatibility(self):
+        data = figure1_series()
+        assert data.ours[1].label == "ours i=25%"
+
+    def test_custom_tau_scales(self):
+        unit = figure1_series(tau_e=1.0)
+        double = figure1_series(tau_e=2.0)
+        assert double.twopl.y == pytest.approx(
+            tuple(2 * y for y in unit.twopl.y))
+
+    def test_as_rows(self):
+        data = figure1_series()
+        rows = data.twopl.as_rows()
+        assert rows[0] == (0.0, 1.0)
+
+
+class TestFigure2:
+    def test_grid_covers_all_combinations(self):
+        data = figure2_series()
+        assert len(data.ours) == len(data.disconnect_fractions) * \
+            len(data.incompat_fractions)
+
+    def test_percentages_not_fractions(self):
+        data = figure2_series()
+        series = data.ours[(0.5, 1.0)]
+        # at c=100%, d=50%, i=100%: abort = 50%
+        assert series.y[-1] == pytest.approx(50.0)
+
+    def test_zero_conflicts_zero_aborts(self):
+        data = figure2_series()
+        for series in data.ours.values():
+            assert series.y[0] == 0.0
+
+    def test_twopl_reference_is_identity_in_d(self):
+        data = figure2_series()
+        assert data.twopl is not None
+        assert data.twopl.y == pytest.approx(data.twopl.x)
+
+    def test_monotone_in_incompatibility(self):
+        data = figure2_series()
+        for d in data.disconnect_fractions:
+            for low, high in zip(data.incompat_fractions,
+                                 data.incompat_fractions[1:]):
+                for y_low, y_high in zip(data.ours[(d, low)].y,
+                                         data.ours[(d, high)].y):
+                    assert y_low <= y_high + 1e-12

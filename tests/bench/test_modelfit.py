@@ -1,0 +1,58 @@
+"""Unit tests for the model-vs-emulation cross-validation driver."""
+
+import pytest
+
+from repro.bench.experiments import modelfit
+
+
+class TestPredictedAdvantage:
+    def test_alpha_one_gives_full_model_gain(self):
+        # i = 0: τ_our = 1, τ_2PL = 1.5 at full conflicts
+        assert modelfit.predicted_advantage(1.0, n=100,
+                                            conflict_fraction=1.0) == \
+            pytest.approx(1.5)
+
+    def test_alpha_zero_gives_no_gain(self):
+        # i = n: the model collapses onto 2PL
+        assert modelfit.predicted_advantage(0.0, n=100,
+                                            conflict_fraction=1.0) == \
+            pytest.approx(1.0)
+
+    def test_monotone_in_alpha(self):
+        values = [modelfit.predicted_advantage(a / 10, n=100,
+                                               conflict_fraction=1.0)
+                  for a in range(11)]
+        assert values == sorted(values)
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert modelfit.spearman_correlation(
+            [1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert modelfit.spearman_correlation(
+            [1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_constant_series_is_zero(self):
+        assert modelfit.spearman_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_nonlinear_monotone_still_one(self):
+        assert modelfit.spearman_correlation(
+            [1, 2, 3, 4], [1, 8, 27, 64]) == pytest.approx(1.0)
+
+
+class TestRun:
+    def test_reduced_grid_passes_checks(self):
+        config = modelfit.ModelFitConfig(
+            n_transactions=120, alphas=(0.2, 0.6, 1.0))
+        data = modelfit.run(config)
+        checks = modelfit.shape_checks(data)
+        assert checks["model_monotone_in_alpha"]
+        assert checks["strong_rank_agreement"], modelfit.render(data)
+
+    def test_render_reports_correlation(self):
+        config = modelfit.ModelFitConfig(
+            n_transactions=80, alphas=(0.3, 0.9))
+        text = modelfit.render(modelfit.run(config))
+        assert "Spearman" in text

@@ -1,0 +1,137 @@
+"""Tests for Algorithms 5 and 6: ⟨abort, X, A⟩ and ⟨abort, A⟩."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.core.gtm import GlobalTransactionManager
+from repro.core.opclass import add, assign
+from repro.core.states import TransactionState
+
+_S = TransactionState
+
+
+def make_gtm(value: float = 100) -> GlobalTransactionManager:
+    gtm = GlobalTransactionManager()
+    gtm.create_object("X", value=value)
+    return gtm
+
+
+class TestLocalAbort:
+    def test_clears_pending_and_virtual_data(self):
+        gtm = make_gtm()
+        gtm.begin("A")
+        gtm.invoke("A", "X", add(1))
+        gtm.apply("A", "X", add(1))
+        gtm.local_abort("A", "X")
+        obj = gtm.object("X")
+        txn = gtm.transaction("A")
+        assert txn.state is _S.ABORTING
+        assert "A" in obj.aborting
+        assert not obj.is_pending("A")
+        assert "A" not in obj.read
+        assert ("X", "value") not in txn.temp
+
+    def test_abort_from_waiting_removes_queue_entry(self):
+        gtm = make_gtm()
+        gtm.begin("A")
+        gtm.begin("B")
+        gtm.invoke("A", "X", assign(1))
+        gtm.invoke("B", "X", assign(2))   # B waits
+        gtm.local_abort("B", "X")
+        assert not gtm.object("X").is_waiting("B")
+
+    def test_abort_from_committing_unstages(self):
+        gtm = make_gtm()
+        gtm.begin("A")
+        gtm.invoke("A", "X", add(1))
+        gtm.apply("A", "X", add(1))
+        gtm.local_commit("A", "X")
+        gtm.local_abort("A", "X")
+        obj = gtm.object("X")
+        assert "A" not in obj.committing
+        assert "A" not in obj.new
+
+    def test_requires_some_role_on_object(self):
+        gtm = make_gtm()
+        gtm.begin("A")
+        with pytest.raises(ProtocolError):
+            gtm.local_abort("A", "X")
+
+
+class TestGlobalAbort:
+    def test_finalizes_state_and_clears_residue(self):
+        gtm = make_gtm()
+        gtm.begin("A")
+        gtm.invoke("A", "X", add(1))
+        gtm.local_abort("A", "X")
+        gtm.global_abort("A")
+        txn = gtm.transaction("A")
+        assert txn.state is _S.ABORTED
+        assert txn.t_wait == {}
+        assert txn.t_sleep is None
+        assert "A" not in gtm.object("X").aborting
+
+    def test_requires_aborting_state(self):
+        gtm = make_gtm()
+        gtm.begin("A")
+        with pytest.raises(ProtocolError):
+            gtm.global_abort("A")
+
+    def test_permanent_value_untouched(self):
+        gtm = make_gtm(100)
+        gtm.begin("A")
+        gtm.invoke("A", "X", add(50))
+        gtm.apply("A", "X", add(50))
+        gtm.abort("A")
+        assert gtm.object("X").permanent_value() == 100
+
+    def test_abort_unblocks_waiters(self):
+        gtm = make_gtm()
+        gtm.begin("A")
+        gtm.begin("B")
+        gtm.invoke("A", "X", assign(1))
+        gtm.invoke("B", "X", assign(2))   # B waits behind A
+        gtm.abort("A")
+        assert gtm.transaction("B").state is _S.ACTIVE
+        assert gtm.object("X").is_pending("B")
+
+    def test_abort_convenience_covers_multi_object(self):
+        gtm = make_gtm()
+        gtm.create_object("Y", value=1)
+        gtm.begin("A")
+        gtm.invoke("A", "X", add(1))
+        gtm.invoke("A", "Y", add(1))
+        gtm.abort("A")
+        assert not gtm.object("X").is_pending("A")
+        assert not gtm.object("Y").is_pending("A")
+        assert gtm.transaction("A").state is _S.ABORTED
+
+    def test_abort_transaction_without_grants(self):
+        gtm = make_gtm()
+        gtm.begin("A")
+        gtm.abort("A")
+        assert gtm.transaction("A").state is _S.ABORTED
+
+    def test_work_after_abort_rejected(self):
+        gtm = make_gtm()
+        gtm.begin("A")
+        gtm.abort("A")
+        with pytest.raises(ProtocolError):
+            gtm.invoke("A", "X", add(1))
+
+    def test_aborted_committer_releases_commit_queue(self):
+        """A deferred committer proceeds when the holder aborts."""
+        gtm = make_gtm(100)
+        gtm.begin("A")
+        gtm.begin("B")
+        gtm.invoke("A", "X", add(1))
+        gtm.invoke("B", "X", add(2))
+        gtm.apply("A", "X", add(1))
+        gtm.apply("B", "X", add(2))
+        gtm.local_commit("A", "X")
+        gtm.local_commit("B", "X")  # deferred behind A
+        gtm.local_abort("A", "X")
+        gtm.global_abort("A")
+        gtm.pump_commits()
+        assert gtm.transaction("B").state is _S.COMMITTED
+        assert gtm.object("X").permanent_value() == 102

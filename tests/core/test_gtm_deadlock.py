@@ -1,0 +1,148 @@
+"""Tests for GTM-level deadlock detection (Section VII, wait-for graph)."""
+
+import pytest
+
+from repro.core.gtm import GlobalTransactionManager, GTMConfig, GrantOutcome
+from repro.core.opclass import assign, multiply, subtract
+from repro.core.states import TransactionState
+from repro.ldbs.deadlock import VictimPolicy
+
+_S = TransactionState
+
+
+def make_gtm(**kwargs) -> GlobalTransactionManager:
+    gtm = GlobalTransactionManager(config=GTMConfig(**kwargs))
+    gtm.create_object("X", value=100)
+    gtm.create_object("Y", value=100)
+    return gtm
+
+
+def build_cycle(gtm) -> str:
+    """A holds X and waits on Y; B holds Y and requests X."""
+    gtm.begin("A")
+    gtm.begin("B")
+    assert gtm.invoke("A", "X", assign(1)) == GrantOutcome.GRANTED
+    assert gtm.invoke("B", "Y", assign(2)) == GrantOutcome.GRANTED
+    assert gtm.invoke("A", "Y", assign(1)) == GrantOutcome.QUEUED
+    return gtm.invoke("B", "X", assign(2))  # closes the cycle
+
+
+class TestDetection:
+    def test_cycle_aborts_youngest_requester(self):
+        gtm = make_gtm()
+        outcome = build_cycle(gtm)
+        # B is the youngest (began second) => B is the victim
+        assert outcome == GrantOutcome.ABORTED
+        assert gtm.transaction("B").state is _S.ABORTED
+        assert gtm.deadlocks_detected == 1
+
+    def test_survivor_granted_after_victim_dies(self):
+        gtm = make_gtm()
+        build_cycle(gtm)
+        # B's abort released Y: A must hold its grant now
+        assert gtm.object("Y").is_pending("A")
+        assert gtm.transaction("A").state is _S.ACTIVE
+
+    def test_survivor_commits_cleanly(self):
+        gtm = make_gtm()
+        build_cycle(gtm)
+        gtm.apply("A", "X", assign(1))
+        gtm.apply("A", "Y", assign(1))
+        gtm.request_commit("A")
+        gtm.pump_commits()
+        assert gtm.object("X").permanent_value() == 1
+        assert gtm.object("Y").permanent_value() == 1
+
+    def test_oldest_victim_policy_kills_holder(self):
+        gtm = make_gtm(victim_policy=VictimPolicy.OLDEST)
+        outcome = build_cycle(gtm)
+        # A (oldest) dies; the requester B gets its grant on X
+        assert gtm.transaction("A").state is _S.ABORTED
+        assert outcome == GrantOutcome.GRANTED
+        assert gtm.object("X").is_pending("B")
+
+    def test_detection_disabled_leaves_both_waiting(self):
+        gtm = make_gtm(deadlock_detection=False)
+        outcome = build_cycle(gtm)
+        assert outcome == GrantOutcome.QUEUED
+        assert gtm.transaction("A").state is _S.WAITING
+        assert gtm.transaction("B").state is _S.WAITING
+        assert gtm.deadlocks_detected == 0
+
+    def test_no_false_positive_on_plain_wait(self):
+        gtm = make_gtm()
+        gtm.begin("A")
+        gtm.begin("B")
+        gtm.invoke("A", "X", assign(1))
+        assert gtm.invoke("B", "X", assign(2)) == GrantOutcome.QUEUED
+        assert gtm.deadlocks_detected == 0
+
+    def test_compatible_classes_never_deadlock(self):
+        """Subtractions share grants: the crossing pattern is harmless."""
+        gtm = make_gtm()
+        gtm.begin("A")
+        gtm.begin("B")
+        assert gtm.invoke("A", "X", subtract(1)) == GrantOutcome.GRANTED
+        assert gtm.invoke("B", "Y", subtract(1)) == GrantOutcome.GRANTED
+        assert gtm.invoke("A", "Y", subtract(1)) == GrantOutcome.GRANTED
+        assert gtm.invoke("B", "X", subtract(1)) == GrantOutcome.GRANTED
+        assert gtm.deadlocks_detected == 0
+
+    def test_three_way_cycle_detected(self):
+        gtm = make_gtm()
+        gtm.create_object("Z", value=100)
+        for name in ("A", "B", "C"):
+            gtm.begin(name)
+        gtm.invoke("A", "X", multiply(2))
+        gtm.invoke("B", "Y", multiply(2))
+        gtm.invoke("C", "Z", multiply(2))
+        assert gtm.invoke("A", "Y", assign(1)) == GrantOutcome.QUEUED
+        assert gtm.invoke("B", "Z", assign(1)) == GrantOutcome.QUEUED
+        outcome = gtm.invoke("C", "X", assign(1))
+        assert gtm.deadlocks_detected == 1
+        aborted = [n for n in ("A", "B", "C")
+                   if gtm.transaction(n).state is _S.ABORTED]
+        assert len(aborted) == 1
+
+    def test_edges_cleared_after_commit_no_stale_cycle(self):
+        gtm = make_gtm()
+        gtm.begin("A")
+        gtm.begin("B")
+        gtm.invoke("A", "X", assign(1))
+        gtm.invoke("B", "X", assign(2))     # B waits on A
+        gtm.apply("A", "X", assign(1))
+        gtm.request_commit("A")             # B granted, edge cleared
+        gtm.begin("C")
+        gtm.invoke("C", "X", assign(3))     # waits on B: no stale cycle
+        assert gtm.deadlocks_detected == 0
+
+
+class TestSchedulerIntegration:
+    def test_crossing_multi_object_transactions_resolve(self):
+        from repro.mobile.session import SessionPlan
+        from repro.schedulers import GTMScheduler
+        from repro.workload.spec import (
+            TransactionProfile,
+            TransactionStep,
+            Workload,
+        )
+        profiles = [
+            TransactionProfile(
+                "AB", 0.0,
+                (TransactionStep("X", assign(1), 0.5),
+                 TransactionStep("Y", assign(1), 0.5)),
+                SessionPlan(4.0)),
+            TransactionProfile(
+                "BA", 0.5,
+                (TransactionStep("Y", assign(2), 0.5),
+                 TransactionStep("X", assign(2), 0.5)),
+                SessionPlan(4.0)),
+        ]
+        workload = Workload(profiles,
+                            initial_values={"X": 0.0, "Y": 0.0})
+        result = GTMScheduler().run(workload)
+        outcomes = {t.txn_id: t.outcome.value
+                    for t in result.collector.timelines.values()}
+        assert sorted(outcomes.values()) == ["aborted", "committed"]
+        # the survivor's assignments landed on both objects
+        assert result.final_values["X"] == result.final_values["Y"]

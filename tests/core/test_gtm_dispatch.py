@@ -1,0 +1,110 @@
+"""Tests for event-object dispatch (the ⟨...⟩ vocabulary end to end)."""
+
+import pytest
+
+from repro.errors import GTMError
+from repro.core import events as ev
+from repro.core.gtm import GlobalTransactionManager, GrantOutcome
+from repro.core.opclass import add, assign
+from repro.core.states import TransactionState
+
+_S = TransactionState
+
+
+def make_gtm():
+    gtm = GlobalTransactionManager()
+    gtm.create_object("X", value=100)
+    return gtm
+
+
+class TestDispatch:
+    def test_full_commit_lifecycle_via_events(self):
+        gtm = make_gtm()
+        gtm.dispatch(ev.Begin("A"))
+        outcome = gtm.dispatch(ev.Invoke("A", "X", add(4)))
+        assert outcome == GrantOutcome.GRANTED
+        gtm.apply("A", "X", add(4))
+        gtm.dispatch(ev.LocalCommit("A", "X"))
+        gtm.dispatch(ev.GlobalCommit("A"))
+        assert gtm.object("X").permanent_value() == 104
+
+    def test_abort_lifecycle_via_events(self):
+        gtm = make_gtm()
+        gtm.dispatch(ev.Begin("A"))
+        gtm.dispatch(ev.Invoke("A", "X", add(1)))
+        gtm.dispatch(ev.LocalAbort("A", "X"))
+        gtm.dispatch(ev.GlobalAbort("A"))
+        assert gtm.transaction("A").state is _S.ABORTED
+        assert gtm.object("X").permanent_value() == 100
+
+    def test_sleep_awake_via_events(self):
+        gtm = make_gtm()
+        gtm.dispatch(ev.Begin("A"))
+        gtm.dispatch(ev.Invoke("A", "X", add(1)))
+        gtm.dispatch(ev.GlobalSleep("A"))
+        assert gtm.transaction("A").state is _S.SLEEPING
+        assert gtm.dispatch(ev.GlobalAwake("A"))
+        assert gtm.transaction("A").state is _S.ACTIVE
+
+    def test_local_sleep_is_idempotent_once_sleeping(self):
+        gtm = make_gtm()
+        gtm.dispatch(ev.Begin("A"))
+        gtm.dispatch(ev.Invoke("A", "X", add(1)))
+        gtm.dispatch(ev.LocalSleep("A", "X"))
+        # a second local sleep event for another object: no state error
+        assert gtm.dispatch(ev.LocalSleep("A", "X")) is None
+        assert gtm.transaction("A").state is _S.SLEEPING
+
+    def test_awake_event_on_awake_transaction_is_noop(self):
+        gtm = make_gtm()
+        gtm.dispatch(ev.Begin("A"))
+        assert gtm.dispatch(ev.GlobalAwake("A")) is None
+
+    def test_unlock_event_grants_waiters(self):
+        gtm = make_gtm()
+        gtm.dispatch(ev.Begin("A"))
+        gtm.dispatch(ev.Begin("B"))
+        gtm.dispatch(ev.Invoke("A", "X", assign(1)))
+        gtm.dispatch(ev.Invoke("B", "X", assign(2)))
+        gtm.apply("A", "X", assign(1))
+        gtm.dispatch(ev.LocalCommit("A", "X"))
+        gtm.dispatch(ev.GlobalCommit("A"))
+        # the commit already unlocked; a redundant Unlock event is safe
+        granted = gtm.dispatch(ev.Unlock("X"))
+        assert granted == ()
+        assert gtm.object("X").is_pending("B")
+
+    def test_unknown_event_rejected(self):
+        gtm = make_gtm()
+        with pytest.raises(GTMError):
+            gtm.dispatch(object())
+
+    def test_replayed_trace_matches_direct_calls(self):
+        """The same schedule as events and as method calls agrees."""
+        trace = [
+            ev.Begin("A"), ev.Begin("B"),
+            ev.Invoke("A", "X", add(1)), ev.Invoke("B", "X", add(2)),
+        ]
+        via_events = make_gtm()
+        for event in trace:
+            via_events.dispatch(event)
+        via_events.apply("A", "X", add(1))
+        via_events.apply("B", "X", add(2))
+        via_events.dispatch(ev.LocalCommit("A", "X"))
+        via_events.dispatch(ev.GlobalCommit("A"))
+        via_events.dispatch(ev.LocalCommit("B", "X"))
+        via_events.dispatch(ev.GlobalCommit("B"))
+
+        direct = make_gtm()
+        direct.begin("A")
+        direct.begin("B")
+        direct.invoke("A", "X", add(1))
+        direct.invoke("B", "X", add(2))
+        direct.apply("A", "X", add(1))
+        direct.apply("B", "X", add(2))
+        direct.request_commit("A")
+        direct.request_commit("B")
+        direct.pump_commits()
+
+        assert via_events.object("X").permanent_value() == \
+            direct.object("X").permanent_value() == 103

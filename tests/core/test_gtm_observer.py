@@ -1,0 +1,179 @@
+"""Tests for the GTMObserver hook contract and structured objects."""
+
+import pytest
+
+from repro.errors import ReconciliationError
+from repro.core.compatibility import LogicalDependence
+from repro.core.gtm import (
+    GlobalTransactionManager,
+    GTMConfig,
+    GTMObserver,
+    GrantOutcome,
+)
+from repro.core.opclass import add, assign, subtract
+from repro.core.reconciliation import ReconcilerRegistry
+
+
+class RecordingObserver(GTMObserver):
+    """Records every hook invocation in order."""
+
+    def __init__(self):
+        self.events: list[tuple] = []
+
+    def on_begin(self, txn, now):
+        self.events.append(("begin", txn.txn_id))
+
+    def on_grant(self, txn, obj, invocation, now):
+        self.events.append(("grant", txn.txn_id, obj.name))
+
+    def on_wait(self, txn, obj, invocation, now):
+        self.events.append(("wait", txn.txn_id, obj.name))
+
+    def on_local_commit(self, txn, obj, now):
+        self.events.append(("local_commit", txn.txn_id, obj.name))
+
+    def on_commit_deferred(self, txn, obj, now):
+        self.events.append(("deferred", txn.txn_id, obj.name))
+
+    def on_global_commit(self, txn, now):
+        self.events.append(("commit", txn.txn_id))
+
+    def on_global_abort(self, txn, now, reason):
+        self.events.append(("abort", txn.txn_id, reason))
+
+    def on_sleep(self, txn, now):
+        self.events.append(("sleep", txn.txn_id))
+
+    def on_awake(self, txn, now, survived):
+        self.events.append(("awake", txn.txn_id, survived))
+
+    def on_unlock(self, obj, granted, now):
+        self.events.append(("unlock", obj.name, granted))
+
+
+def make_gtm(observer):
+    gtm = GlobalTransactionManager(observer=observer)
+    gtm.create_object("X", value=100)
+    return gtm
+
+
+class TestObserverOrdering:
+    def test_commit_lifecycle_events_in_order(self):
+        observer = RecordingObserver()
+        gtm = make_gtm(observer)
+        gtm.begin("A")
+        gtm.invoke("A", "X", add(1))
+        gtm.apply("A", "X", add(1))
+        gtm.request_commit("A")
+        assert observer.events == [
+            ("begin", "A"),
+            ("grant", "A", "X"),
+            ("local_commit", "A", "X"),
+            ("commit", "A"),
+        ]
+
+    def test_wait_then_unlock_grant(self):
+        observer = RecordingObserver()
+        gtm = make_gtm(observer)
+        gtm.begin("A")
+        gtm.begin("B")
+        gtm.invoke("A", "X", assign(1))
+        gtm.invoke("B", "X", assign(2))
+        gtm.apply("A", "X", assign(1))
+        gtm.request_commit("A")
+        names = [e[0] for e in observer.events]
+        # B's grant arrives via the unlock after A's commit
+        assert names.index("wait") < names.index("commit")
+        assert ("grant", "B", "X") in observer.events
+        assert ("unlock", "X", ("B",)) in observer.events
+
+    def test_deferred_commit_hook(self):
+        observer = RecordingObserver()
+        gtm = make_gtm(observer)
+        gtm.begin("A")
+        gtm.begin("B")
+        gtm.invoke("A", "X", add(1))
+        gtm.invoke("B", "X", add(2))
+        gtm.local_commit("A", "X")
+        gtm.local_commit("B", "X")   # deferred behind A
+        assert ("deferred", "B", "X") in observer.events
+
+    def test_sleep_awake_hooks(self):
+        observer = RecordingObserver()
+        gtm = make_gtm(observer)
+        gtm.begin("A")
+        gtm.invoke("A", "X", add(1))
+        gtm.sleep("A")
+        gtm.awake("A")
+        assert ("sleep", "A") in observer.events
+        assert ("awake", "A", True) in observer.events
+
+    def test_awake_abort_reports_both_hooks(self):
+        observer = RecordingObserver()
+        gtm = make_gtm(observer)
+        gtm.begin("A")
+        gtm.begin("B")
+        gtm.invoke("A", "X", subtract(1))
+        gtm.sleep("A")
+        gtm.invoke("B", "X", assign(0))
+        gtm.apply("B", "X", assign(0))
+        gtm.request_commit("B")
+        gtm.awake("A")
+        assert ("awake", "A", False) in observer.events
+        assert ("abort", "A", "sleep-conflict") in observer.events
+
+
+class TestConfigValidation:
+    def test_empty_registry_rejected_at_init(self):
+        config = GTMConfig(registry=ReconcilerRegistry())
+        with pytest.raises(ReconciliationError):
+            GlobalTransactionManager(config=config)
+
+
+class TestStructuredObjects:
+    def test_independent_members_concurrent_by_default(self):
+        gtm = GlobalTransactionManager()
+        gtm.create_object("product", members={"quantity": 50,
+                                              "price": 10.0})
+        gtm.begin("stock")
+        gtm.begin("pricing")
+        assert gtm.invoke("stock", "product",
+                          subtract(1, member="quantity")) == \
+            GrantOutcome.GRANTED
+        assert gtm.invoke("pricing", "product",
+                          assign(12.0, member="price")) == \
+            GrantOutcome.GRANTED
+        gtm.apply("stock", "product", subtract(1, member="quantity"))
+        gtm.apply("pricing", "product", assign(12.0, member="price"))
+        gtm.request_commit("stock")
+        gtm.request_commit("pricing")
+        gtm.pump_commits()
+        obj = gtm.object("product")
+        assert obj.permanent_value("quantity") == 49
+        assert obj.permanent_value("price") == 12.0
+
+    def test_dependent_members_conflict(self):
+        """The paper's example: quantity and price logically dependent."""
+        config = GTMConfig(
+            dependence=LogicalDependence.of({"quantity", "price"}))
+        gtm = GlobalTransactionManager(config=config)
+        gtm.create_object("product", members={"quantity": 50,
+                                              "price": 10.0})
+        gtm.begin("stock")
+        gtm.begin("pricing")
+        gtm.invoke("stock", "product", subtract(1, member="quantity"))
+        assert gtm.invoke("pricing", "product",
+                          assign(12.0, member="price")) == \
+            GrantOutcome.QUEUED
+
+    def test_commit_only_writes_touched_member(self):
+        gtm = GlobalTransactionManager()
+        gtm.create_object("product", members={"quantity": 50,
+                                              "price": 10.0})
+        gtm.begin("stock")
+        gtm.invoke("stock", "product", subtract(5, member="quantity"))
+        gtm.apply("stock", "product", subtract(5, member="quantity"))
+        gtm.request_commit("stock")
+        obj = gtm.object("product")
+        assert obj.permanent_value("quantity") == 45
+        assert obj.permanent_value("price") == 10.0

@@ -1,0 +1,177 @@
+"""Property-based tests on the GTM protocol.
+
+A random but *legal* stream of client actions (begin / invoke / apply /
+sleep / awake / commit / abort) is replayed against the GTM; after every
+event the structural invariants must hold, and at quiescence:
+
+- every additive object value equals initial + the committed deltas
+  (serializability of compatible updates via reconciliation);
+- every transaction is in a terminal or recoverable state;
+- no object retains residue of terminal transactions.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.gtm import GlobalTransactionManager, GrantOutcome
+from repro.core.opclass import add, assign
+from repro.core.states import TransactionState
+
+_S = TransactionState
+
+N_OBJECTS = 2
+N_TXNS = 6
+
+#: Each step: (txn index, action code, object index, amount).
+steps = st.lists(
+    st.tuples(st.integers(0, N_TXNS - 1),
+              st.sampled_from(["invoke_add", "invoke_assign", "apply",
+                               "sleep", "awake", "commit", "abort"]),
+              st.integers(0, N_OBJECTS - 1),
+              st.integers(-5, 5)),
+    min_size=1, max_size=60)
+
+
+class Driver:
+    """Replays random actions, skipping those that are illegal now."""
+
+    def __init__(self) -> None:
+        self.gtm = GlobalTransactionManager()
+        self.initial = 1000
+        for index in range(N_OBJECTS):
+            self.gtm.create_object(f"X{index}", value=self.initial)
+        self.names = [f"T{index}" for index in range(N_TXNS)]
+        for name in self.names:
+            self.gtm.begin(name)
+        #: committed delta we expect per object (additive txns only)
+        self.expected_delta = {f"X{index}": 0 for index in range(N_OBJECTS)}
+        self.assign_happened = {f"X{index}": False
+                                for index in range(N_OBJECTS)}
+        #: per txn: {object: accumulated local delta}
+        self.local_delta: dict[str, dict[str, int]] = {
+            name: {} for name in self.names}
+
+    def txn(self, index: int):
+        return self.gtm.transaction(self.names[index])
+
+    def step(self, index: int, action: str, obj_index: int,
+             amount: int) -> None:
+        name = self.names[index]
+        txn = self.txn(index)
+        obj_name = f"X{obj_index}"
+        obj = self.gtm.object(obj_name)
+        if action == "invoke_add":
+            if txn.is_in(_S.ACTIVE) and obj_name not in txn.operations:
+                self.gtm.invoke(name, obj_name, add(1))
+        elif action == "invoke_assign":
+            if txn.is_in(_S.ACTIVE) and obj_name not in txn.operations:
+                self.gtm.invoke(name, obj_name, assign(amount))
+        elif action == "apply":
+            if txn.is_in(_S.ACTIVE) and obj.is_pending(name):
+                granted = next(iter(obj.pending[name].values()))
+                self.gtm.apply(name, obj_name, granted if
+                               granted.op_class.value != "update-addsub"
+                               else add(amount))
+                if granted.op_class.value == "update-addsub":
+                    deltas = self.local_delta[name]
+                    deltas[obj_name] = deltas.get(obj_name, 0) + amount
+        elif action == "sleep":
+            if txn.is_in(_S.ACTIVE, _S.WAITING):
+                self.gtm.sleep(name)
+        elif action == "awake":
+            if txn.is_in(_S.SLEEPING):
+                self.gtm.awake(name)
+        elif action == "commit":
+            if txn.is_in(_S.ACTIVE) and txn.involved and not txn.t_wait:
+                self.gtm.request_commit(name)
+                self.gtm.pump_commits()
+                if txn.is_in(_S.COMMITTED):
+                    self._account_commit(name)
+        elif action == "abort":
+            if txn.is_in(_S.ACTIVE, _S.WAITING):
+                self.gtm.abort(name)
+        self.gtm.check_invariants()
+
+    def _account_commit(self, name: str) -> None:
+        txn = self.gtm.transaction(name)
+        for obj_name in txn.involved:
+            for granted in txn.operations.get(obj_name, {}).values():
+                if granted.op_class.value == "update-addsub":
+                    self.expected_delta[obj_name] += \
+                        self.local_delta[name].get(obj_name, 0)
+                elif granted.op_class.value == "update-assign":
+                    self.assign_happened[obj_name] = True
+
+    def finish(self) -> None:
+        """Drive every live transaction to an end state."""
+        for name in self.names:
+            txn = self.gtm.transaction(name)
+            if txn.is_in(_S.SLEEPING):
+                self.gtm.awake(name)
+                txn = self.gtm.transaction(name)
+            if txn.is_in(_S.WAITING):
+                self.gtm.abort(name)
+                txn = self.gtm.transaction(name)
+            if txn.is_in(_S.ACTIVE):
+                if txn.involved:
+                    self.gtm.request_commit(name)
+                    self.gtm.pump_commits()
+                    if self.gtm.transaction(name).is_in(_S.COMMITTED):
+                        self._account_commit(name)
+                        continue
+                    txn = self.gtm.transaction(name)
+                if txn.is_in(_S.ACTIVE, _S.WAITING):
+                    self.gtm.abort(name)
+        self.gtm.pump_commits()
+        for name in self.names:
+            txn = self.gtm.transaction(name)
+            if txn.is_in(_S.COMMITTING) and \
+                    self.gtm.commit_ready(name):
+                self.gtm.global_commit(name)
+                self._account_commit(name)
+
+
+@settings(max_examples=120, deadline=None)
+@given(steps)
+def test_random_schedules_preserve_invariants(actions):
+    driver = Driver()
+    for index, action, obj_index, amount in actions:
+        driver.step(index, action, obj_index, amount)
+    driver.finish()
+    gtm = driver.gtm
+    gtm.check_invariants()
+    for name in driver.names:
+        assert gtm.transaction(name).state in (_S.COMMITTED, _S.ABORTED,
+                                               _S.COMMITTING), \
+            f"{name} stuck in {gtm.transaction(name).state}"
+    for obj_name, obj in gtm.objects.items():
+        # terminal transactions leave no residue
+        for txn_name in driver.names:
+            txn = gtm.transaction(txn_name)
+            if txn.state in (_S.COMMITTED, _S.ABORTED):
+                assert not obj.is_pending(txn_name)
+                assert not obj.is_waiting(txn_name)
+                assert txn_name not in obj.committing
+                assert txn_name not in obj.sleeping
+        # additive accounting: when no assignment interfered, the final
+        # value is exactly initial + sum of committed deltas
+        if not driver.assign_happened[obj_name]:
+            assert obj.permanent_value() == \
+                driver.initial + driver.expected_delta[obj_name]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(-5, 5), min_size=1, max_size=12))
+def test_concurrent_additive_commits_always_sum(deltas):
+    """N concurrent adders all granted together; the final value is the
+    sum regardless of commit order — Weihl commutativity end to end."""
+    gtm = GlobalTransactionManager()
+    gtm.create_object("X", value=0)
+    for index, delta in enumerate(deltas):
+        name = f"T{index}"
+        gtm.begin(name)
+        assert gtm.invoke(name, "X", add(delta)) == GrantOutcome.GRANTED
+        gtm.apply(name, "X", add(delta))
+    for index in range(len(deltas)):
+        gtm.request_commit(f"T{index}")
+        gtm.pump_commits()
+    assert gtm.object("X").permanent_value() == sum(deltas)

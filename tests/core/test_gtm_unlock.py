@@ -1,0 +1,122 @@
+"""Tests for Algorithm 11: the ⟨unlock, X⟩ event and θ grant batches."""
+
+from repro.core.gtm import GlobalTransactionManager, GTMConfig
+from repro.core.opclass import add, assign, multiply, subtract
+from repro.core.states import TransactionState
+
+_S = TransactionState
+
+
+def make_gtm(value: float = 100,
+             config: GTMConfig | None = None) -> GlobalTransactionManager:
+    gtm = GlobalTransactionManager(config=config)
+    gtm.create_object("X", value=value)
+    return gtm
+
+
+class TestUnlockGrants:
+    def test_single_waiter_granted_on_drain(self):
+        gtm = make_gtm()
+        gtm.begin("A")
+        gtm.begin("B")
+        gtm.invoke("A", "X", assign(1))
+        gtm.invoke("B", "X", assign(2))
+        gtm.apply("A", "X", assign(1))
+        gtm.request_commit("A")
+        txn_b = gtm.transaction("B")
+        assert txn_b.state is _S.ACTIVE        # A_state = Active
+        assert "X" not in txn_b.t_wait         # A_t_wait = ⊥
+        obj = gtm.object("X")
+        assert obj.is_pending("B")             # X_pending ∪ (A, op)
+        assert not obj.is_waiting("B")         # X_waiting -= (A, op)
+
+    def test_granted_waiter_snapshots_fresh_permanent(self):
+        gtm = make_gtm(100)
+        gtm.begin("A")
+        gtm.begin("B")
+        gtm.invoke("A", "X", assign(42))
+        gtm.invoke("B", "X", add(1))
+        gtm.apply("A", "X", assign(42))
+        gtm.request_commit("A")
+        # B granted at unlock: must see 42, not 100
+        assert gtm.object("X").read_value("B") == 42
+        assert gtm.read_virtual("B", "X") == 42
+
+    def test_compatible_prefix_granted_together(self):
+        gtm = make_gtm()
+        gtm.begin("H")
+        gtm.invoke("H", "X", assign(1))
+        for name in ("S1", "S2", "S3"):
+            gtm.begin(name)
+            gtm.invoke(name, "X", subtract(1))   # all queue behind H
+        gtm.apply("H", "X", assign(1))
+        gtm.request_commit("H")
+        obj = gtm.object("X")
+        for name in ("S1", "S2", "S3"):
+            assert obj.is_pending(name)          # whole batch granted
+
+    def test_batch_stops_at_first_incompatible(self):
+        gtm = make_gtm()
+        gtm.begin("H")
+        gtm.invoke("H", "X", assign(1))
+        gtm.begin("S1")
+        gtm.invoke("S1", "X", subtract(1))
+        gtm.begin("M")
+        gtm.invoke("M", "X", multiply(2))        # incompatible with S1
+        gtm.begin("S2")
+        gtm.invoke("S2", "X", subtract(1))       # behind M: must wait too
+        gtm.apply("H", "X", assign(1))
+        gtm.request_commit("H")
+        obj = gtm.object("X")
+        assert obj.is_pending("S1")
+        assert not obj.is_pending("M")
+        assert not obj.is_pending("S2")          # FIFO: no overtaking
+        assert gtm.transaction("M").state is _S.WAITING
+
+    def test_sleeping_waiters_skipped(self):
+        gtm = make_gtm()
+        gtm.begin("H")
+        gtm.invoke("H", "X", assign(1))
+        gtm.begin("B")
+        gtm.invoke("B", "X", subtract(1))
+        gtm.sleep("B")                           # B sleeps in the queue
+        gtm.begin("C")
+        gtm.invoke("C", "X", subtract(1))
+        gtm.apply("H", "X", assign(1))
+        gtm.request_commit("H")
+        obj = gtm.object("X")
+        assert not obj.is_pending("B")           # θ(waiting − sleeping)
+        assert obj.is_waiting("B")
+        assert obj.is_pending("C")
+
+    def test_no_unlock_while_committing_occupied(self):
+        gtm = make_gtm()
+        gtm.begin("A")
+        gtm.begin("B")
+        gtm.invoke("A", "X", add(1))
+        gtm.invoke("B", "X", assign(0))          # waits
+        gtm.apply("A", "X", add(1))
+        gtm.local_commit("A", "X")               # pending empty, committing
+        assert gtm.transaction("B").state is _S.WAITING
+        gtm.global_commit("A")
+        assert gtm.transaction("B").state is _S.ACTIVE
+
+    def test_chained_unlocks_across_incompatible_classes(self):
+        """Three mutually incompatible waiters drain one per commit."""
+        gtm = make_gtm()
+        gtm.begin("A")
+        gtm.invoke("A", "X", assign(1))
+        gtm.begin("B")
+        gtm.invoke("B", "X", multiply(2))
+        gtm.begin("C")
+        gtm.invoke("C", "X", assign(3))
+        gtm.apply("A", "X", assign(1))
+        gtm.request_commit("A")
+        assert gtm.object("X").is_pending("B")
+        assert gtm.transaction("C").state is _S.WAITING
+        gtm.apply("B", "X", multiply(2))
+        gtm.request_commit("B")
+        assert gtm.object("X").is_pending("C")
+        gtm.apply("C", "X", assign(3))
+        gtm.request_commit("C")
+        assert gtm.object("X").permanent_value() == 3

@@ -1,0 +1,89 @@
+"""Tests for operation classes and invocations."""
+
+import pytest
+
+from repro.errors import GTMError
+from repro.core.opclass import (
+    Invocation,
+    OperationClass,
+    add,
+    assign,
+    multiply,
+    read,
+    subtract,
+)
+
+
+class TestOperationClass:
+    def test_is_update_flags(self):
+        assert OperationClass.UPDATE_ASSIGN.is_update
+        assert OperationClass.UPDATE_ADDSUB.is_update
+        assert OperationClass.UPDATE_MULDIV.is_update
+        assert not OperationClass.READ.is_update
+        assert not OperationClass.INSERT.is_update
+        assert not OperationClass.DELETE.is_update
+
+    def test_mutates(self):
+        assert not OperationClass.READ.mutates
+        assert OperationClass.INSERT.mutates
+
+    def test_apply_read_is_identity(self):
+        assert OperationClass.READ.apply(42, None) == 42
+
+    def test_apply_assign(self):
+        assert OperationClass.UPDATE_ASSIGN.apply(42, 7) == 7
+
+    def test_apply_addsub(self):
+        assert OperationClass.UPDATE_ADDSUB.apply(10, -3) == 7
+
+    def test_apply_muldiv(self):
+        assert OperationClass.UPDATE_MULDIV.apply(10, 0.5) == 5.0
+
+    def test_apply_muldiv_zero_raises(self):
+        with pytest.raises(GTMError):
+            OperationClass.UPDATE_MULDIV.apply(10, 0)
+
+    def test_apply_insert_delete_raise(self):
+        with pytest.raises(GTMError):
+            OperationClass.INSERT.apply(1, 2)
+        with pytest.raises(GTMError):
+            OperationClass.DELETE.apply(1, None)
+
+
+class TestInvocation:
+    def test_update_requires_operand(self):
+        with pytest.raises(GTMError):
+            Invocation(OperationClass.UPDATE_ADDSUB)
+
+    def test_muldiv_rejects_zero_operand(self):
+        with pytest.raises(GTMError):
+            Invocation(OperationClass.UPDATE_MULDIV, operand=0)
+
+    def test_apply_delegates_to_class(self):
+        assert add(5).apply(10) == 15
+        assert subtract(3).apply(10) == 7
+        assert assign(99).apply(10) == 99
+        assert multiply(2).apply(10) == 20
+        assert read().apply(10) == 10
+
+    def test_describe_mentions_operation(self):
+        assert "read" in read().describe()
+        assert "+" in add(1).describe()
+        assert "99" in assign(99).describe()
+
+    def test_describe_with_member(self):
+        text = add(1, member="price").describe()
+        assert "price" in text
+
+    def test_shorthands_set_classes(self):
+        assert read().op_class is OperationClass.READ
+        assert add(1).op_class is OperationClass.UPDATE_ADDSUB
+        assert subtract(1).op_class is OperationClass.UPDATE_ADDSUB
+        assert assign(1).op_class is OperationClass.UPDATE_ASSIGN
+        assert multiply(2).op_class is OperationClass.UPDATE_MULDIV
+
+    def test_subtract_negates(self):
+        assert subtract(4).operand == -4
+
+    def test_invocations_are_frozen_and_hashable(self):
+        assert len({add(1), add(1), add(2)}) == 2

@@ -1,0 +1,119 @@
+"""Tests for the reconciliation algorithms (Eq. 1 and Eq. 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReconciliationError
+from repro.core.compatibility import DEFAULT_MATRIX
+from repro.core.opclass import OperationClass
+from repro.core.reconciliation import (
+    AdditiveReconciler,
+    IdentityReconciler,
+    MultiplicativeReconciler,
+    ReconcilerRegistry,
+    default_registry,
+)
+
+
+class TestAdditive:
+    """Eq. (1): X_new = A_temp + X_permanent - X_read."""
+
+    def test_paper_table2_values(self):
+        reconciler = AdditiveReconciler()
+        # A: read 100, temp 104; commits against permanent 100 -> 104
+        assert reconciler.reconcile(100, 104, 100) == 104
+        # B: read 100, temp 102; commits against permanent 104 -> 106
+        assert reconciler.reconcile(100, 102, 104) == 106
+
+    def test_no_concurrent_commit_is_identity(self):
+        assert AdditiveReconciler().reconcile(50, 47, 50) == 47
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(ReconciliationError):
+            AdditiveReconciler().reconcile("a", "b", None)
+
+    @given(st.integers(-10**6, 10**6), st.integers(-1000, 1000),
+           st.integers(-1000, 1000))
+    def test_order_independence(self, start, delta_a, delta_b):
+        """Two additive commits yield the same final value either order."""
+        reconciler = AdditiveReconciler()
+        # both read `start`; A ends at start+delta_a, B at start+delta_b
+        a_first = reconciler.reconcile(
+            start, start + delta_b,
+            reconciler.reconcile(start, start + delta_a, start))
+        b_first = reconciler.reconcile(
+            start, start + delta_a,
+            reconciler.reconcile(start, start + delta_b, start))
+        assert a_first == b_first == start + delta_a + delta_b
+
+
+class TestMultiplicative:
+    """Eq. (2): X_new = (A_temp / X_read) * X_permanent."""
+
+    def test_single_factor(self):
+        assert MultiplicativeReconciler().reconcile(10, 20, 10) == 20.0
+
+    def test_concurrent_factors_compose(self):
+        reconciler = MultiplicativeReconciler()
+        # A doubles, B triples; both read 10
+        after_a = reconciler.reconcile(10, 20, 10)        # 20
+        after_b = reconciler.reconcile(10, 30, after_a)   # 60
+        assert after_b == 60.0
+
+    def test_zero_read_snapshot_raises(self):
+        with pytest.raises(ReconciliationError):
+            MultiplicativeReconciler().reconcile(0, 5, 10)
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(ReconciliationError):
+            MultiplicativeReconciler().reconcile(1, "x", 2)
+
+    @given(st.floats(0.1, 100), st.floats(0.1, 10), st.floats(0.1, 10))
+    def test_order_independence(self, start, factor_a, factor_b):
+        reconciler = MultiplicativeReconciler()
+        a_first = reconciler.reconcile(
+            start, start * factor_b,
+            reconciler.reconcile(start, start * factor_a, start))
+        b_first = reconciler.reconcile(
+            start, start * factor_a,
+            reconciler.reconcile(start, start * factor_b, start))
+        assert a_first == pytest.approx(b_first)
+        assert a_first == pytest.approx(start * factor_a * factor_b)
+
+
+class TestIdentity:
+    def test_returns_temp_verbatim(self):
+        assert IdentityReconciler().reconcile(1, 99, 42) == 99
+
+
+class TestRegistry:
+    def test_default_registry_covers_update_classes(self):
+        registry = default_registry()
+        assert registry.has(OperationClass.UPDATE_ADDSUB)
+        assert registry.has(OperationClass.UPDATE_MULDIV)
+        assert registry.has(OperationClass.UPDATE_ASSIGN)
+
+    def test_missing_class_raises(self):
+        registry = ReconcilerRegistry()
+        with pytest.raises(ReconciliationError):
+            registry.for_class(OperationClass.UPDATE_ADDSUB)
+
+    def test_reconcile_dispatches(self):
+        registry = default_registry()
+        assert registry.reconcile(OperationClass.UPDATE_ADDSUB,
+                                  100, 102, 104) == 106
+
+    def test_validate_against_passes_for_defaults(self):
+        default_registry().validate_against(DEFAULT_MATRIX)
+
+    def test_validate_against_catches_missing_reconciler(self):
+        registry = ReconcilerRegistry()  # empty: add/sub self-compat fails
+        with pytest.raises(ReconciliationError):
+            registry.validate_against(DEFAULT_MATRIX)
+
+    def test_register_overrides(self):
+        registry = default_registry()
+        registry.register(OperationClass.UPDATE_ADDSUB,
+                          IdentityReconciler())
+        assert registry.for_class(
+            OperationClass.UPDATE_ADDSUB).name == "identity"

@@ -1,0 +1,193 @@
+"""Tests for Secure System Transactions (executor, injection, retry)."""
+
+import pytest
+
+from repro.errors import SSTFailure
+from repro.core.gtm import GlobalTransactionManager
+from repro.core.objects import ObjectBinding
+from repro.core.opclass import Invocation, OperationClass, add, assign, \
+    subtract
+from repro.core.sst import FailureInjector, SSTExecutor, StagedWrite
+from repro.core.states import TransactionState
+from repro.ldbs.constraints import NonNegative
+from repro.ldbs.engine import Database
+from repro.ldbs.schema import Column, ColumnType, TableSchema
+
+
+def make_db(stock: int = 10) -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema("flight",
+                    (Column("id", ColumnType.INT),
+                     Column("free", ColumnType.INT)),
+                    primary_key="id"),
+        constraints=[NonNegative("flight", "free")])
+    db.seed("flight", [{"id": 1, "free": stock}])
+    return db
+
+
+def binding() -> ObjectBinding:
+    return ObjectBinding.cell("flight", 1, "free")
+
+
+class TestExecutor:
+    def test_update_write(self):
+        db = make_db(10)
+        executor = SSTExecutor(db)
+        report = executor.execute("T", [
+            StagedWrite("seats", binding(), {"value": 9})])
+        assert report.rows_written == 1
+        assert db.catalog.table("flight").get_by_key(1)["free"] == 9
+
+    def test_unbound_write_skipped(self):
+        db = make_db()
+        executor = SSTExecutor(db)
+        report = executor.execute("T", [
+            StagedWrite("virtual", None, {"value": 1})])
+        assert report.skipped_unbound == 1
+        assert report.rows_written == 0
+
+    def test_empty_values_means_pure_read(self):
+        db = make_db(10)
+        executor = SSTExecutor(db)
+        report = executor.execute("T", [
+            StagedWrite("seats", binding(), {})])
+        assert report.rows_written == 0
+        assert db.catalog.table("flight").get_by_key(1)["free"] == 10
+
+    def test_delete_write(self):
+        db = make_db()
+        executor = SSTExecutor(db)
+        report = executor.execute("T", [
+            StagedWrite("seats", binding(), {}, delete=True)])
+        assert report.rows_deleted == 1
+        assert not db.catalog.table("flight").has_key(1)
+
+    def test_insert_when_key_missing(self):
+        db = make_db()
+        db.run(lambda txn: txn.delete("flight",
+                                      __import__(
+                                          "repro.ldbs.predicate",
+                                          fromlist=["P"]).P("id") == 1))
+        executor = SSTExecutor(db)
+        report = executor.execute("T", [
+            StagedWrite("seats", binding(), {"value": 5})])
+        assert report.rows_written == 1
+        assert db.catalog.table("flight").get_by_key(1)["free"] == 5
+
+    def test_constraint_violation_fails_without_retry(self):
+        db = make_db(0)
+        executor = SSTExecutor(db, max_retries=5)
+        with pytest.raises(SSTFailure) as info:
+            executor.execute("T", [
+                StagedWrite("seats", binding(), {"value": -1})])
+        assert "constraint" in str(info.value)
+        assert executor.failed == 1
+        # no retries for deterministic failures
+        assert db.catalog.table("flight").get_by_key(1)["free"] == 0
+
+    def test_failed_attempt_leaves_no_partial_state(self):
+        db = make_db(10)
+        db.create_table(TableSchema(
+            "hotel", (Column("id", ColumnType.INT),
+                      Column("free", ColumnType.INT)),
+            primary_key="id"),
+            constraints=[NonNegative("hotel", "free")])
+        db.seed("hotel", [{"id": 1, "free": 0}])
+        executor = SSTExecutor(db)
+        writes = [
+            StagedWrite("seats", binding(), {"value": 9}),      # fine
+            StagedWrite("rooms", ObjectBinding.cell("hotel", 1, "free"),
+                        {"value": -1}),                          # violates
+        ]
+        with pytest.raises(SSTFailure):
+            executor.execute("T", writes)
+        # atomicity: the first write rolled back with the second
+        assert db.catalog.table("flight").get_by_key(1)["free"] == 10
+
+
+class TestFailureInjection:
+    def test_fail_attempts_then_success(self):
+        db = make_db(10)
+        executor = SSTExecutor(db, max_retries=2,
+                               injector=FailureInjector(fail_attempts=(1,)))
+        report = executor.execute("T", [
+            StagedWrite("seats", binding(), {"value": 9})])
+        assert report.attempts == 2
+        assert report.injected_failures == 1
+        assert db.catalog.table("flight").get_by_key(1)["free"] == 9
+
+    def test_permanent_failure_exhausts_retries(self):
+        db = make_db(10)
+        executor = SSTExecutor(
+            db, max_retries=2,
+            injector=FailureInjector(should_fail=lambda t, a: True))
+        with pytest.raises(SSTFailure):
+            executor.execute("T", [
+                StagedWrite("seats", binding(), {"value": 9})])
+        assert executor.injector.injected == 3  # 1 try + 2 retries
+        assert db.catalog.table("flight").get_by_key(1)["free"] == 10
+
+    def test_invalid_failure_rate_rejected(self):
+        with pytest.raises(Exception):
+            FailureInjector(failure_rate=1.5)
+
+
+class TestGTMIntegration:
+    def make_gtm(self, stock=10, injector=None, max_retries=2):
+        db = make_db(stock)
+        executor = SSTExecutor(db, max_retries=max_retries,
+                               injector=injector)
+        gtm = GlobalTransactionManager(sst_executor=executor)
+        gtm.create_object("seats", value=float(stock), binding=binding())
+        return gtm, db
+
+    def test_commit_flows_to_database(self):
+        gtm, db = self.make_gtm(10)
+        gtm.begin("T")
+        gtm.invoke("T", "seats", subtract(1))
+        gtm.apply("T", "seats", subtract(1))
+        report = gtm.request_commit("T")
+        assert report is not None
+        assert db.catalog.table("flight").get_by_key(1)["free"] == 9
+        assert gtm.object("seats").permanent_value() == 9
+
+    def test_sst_failure_aborts_transaction_cleanly(self):
+        gtm, db = self.make_gtm(
+            10, injector=FailureInjector(should_fail=lambda t, a: True))
+        gtm.begin("T")
+        gtm.invoke("T", "seats", subtract(1))
+        gtm.apply("T", "seats", subtract(1))
+        with pytest.raises(SSTFailure):
+            gtm.request_commit("T")
+        assert gtm.transaction("T").state is TransactionState.ABORTED
+        # neither side changed
+        assert gtm.object("seats").permanent_value() == 10
+        assert db.catalog.table("flight").get_by_key(1)["free"] == 10
+
+    def test_sst_failure_releases_object_for_others(self):
+        gtm, _db = self.make_gtm(
+            10, injector=FailureInjector(fail_attempts=(1, 2, 3)),
+            max_retries=2)
+        gtm.begin("T")
+        gtm.invoke("T", "seats", assign(5))
+        gtm.apply("T", "seats", assign(5))
+        gtm.begin("U")
+        gtm.invoke("U", "seats", assign(7))   # queued behind T
+        with pytest.raises(SSTFailure):
+            gtm.request_commit("T")
+        # T died; U must have been granted at the unlock
+        assert gtm.object("seats").is_pending("U")
+
+    def test_constraint_violation_during_reconciliation(self):
+        """Section VII: reconciliation can violate integrity constraints."""
+        gtm, db = self.make_gtm(1)
+        for name in ("A", "B"):
+            gtm.begin(name)
+            gtm.invoke(name, "seats", subtract(1))
+            gtm.apply(name, "seats", subtract(1))
+        gtm.request_commit("A")               # stock: 1 -> 0
+        with pytest.raises(SSTFailure):       # B would drive it to -1
+            gtm.request_commit("B")
+            gtm.pump_commits()
+        assert db.catalog.table("flight").get_by_key(1)["free"] == 0

@@ -1,0 +1,80 @@
+"""Tests for the transaction state machine."""
+
+import pytest
+
+from repro.errors import IllegalTransition
+from repro.core.states import StateMachine, TransactionState, can_transition
+
+_S = TransactionState
+
+
+class TestTransitionRelation:
+    def test_active_edges(self):
+        assert can_transition(_S.ACTIVE, _S.WAITING)
+        assert can_transition(_S.ACTIVE, _S.SLEEPING)
+        assert can_transition(_S.ACTIVE, _S.COMMITTING)
+        assert can_transition(_S.ACTIVE, _S.ABORTING)
+        assert not can_transition(_S.ACTIVE, _S.COMMITTED)
+        assert not can_transition(_S.ACTIVE, _S.ABORTED)
+
+    def test_waiting_edges(self):
+        assert can_transition(_S.WAITING, _S.ACTIVE)
+        assert can_transition(_S.WAITING, _S.SLEEPING)
+        assert can_transition(_S.WAITING, _S.ABORTING)
+        assert not can_transition(_S.WAITING, _S.COMMITTING)
+
+    def test_sleeping_edges(self):
+        assert can_transition(_S.SLEEPING, _S.ACTIVE)
+        assert can_transition(_S.SLEEPING, _S.ABORTED)  # Alg 9 conflict case
+        assert not can_transition(_S.SLEEPING, _S.COMMITTING)
+
+    def test_committing_edges(self):
+        assert can_transition(_S.COMMITTING, _S.COMMITTED)
+        assert can_transition(_S.COMMITTING, _S.ABORTING)  # SST failure
+        assert not can_transition(_S.COMMITTING, _S.ACTIVE)
+
+    def test_aborting_edges(self):
+        assert can_transition(_S.ABORTING, _S.ABORTED)
+        assert not can_transition(_S.ABORTING, _S.ACTIVE)
+
+    def test_terminal_states_have_no_edges(self):
+        for terminal in (_S.COMMITTED, _S.ABORTED):
+            for target in _S:
+                assert not can_transition(terminal, target)
+
+    def test_terminal_property(self):
+        assert _S.COMMITTED.terminal
+        assert _S.ABORTED.terminal
+        assert not _S.ACTIVE.terminal
+
+
+class TestStateMachine:
+    def test_starts_active(self):
+        assert StateMachine("T").state is _S.ACTIVE
+
+    def test_valid_walk(self):
+        machine = StateMachine("T")
+        machine.transition(_S.WAITING)
+        machine.transition(_S.ACTIVE)
+        machine.transition(_S.COMMITTING)
+        machine.transition(_S.COMMITTED)
+        assert machine.state is _S.COMMITTED
+
+    def test_illegal_edge_raises_with_context(self):
+        machine = StateMachine("T")
+        with pytest.raises(IllegalTransition) as info:
+            machine.transition(_S.COMMITTED)
+        assert info.value.txn_id == "T"
+        assert info.value.source == "active"
+        assert info.value.target == "committed"
+
+    def test_history_records_every_state(self):
+        machine = StateMachine("T")
+        machine.transition(_S.SLEEPING)
+        machine.transition(_S.ACTIVE)
+        assert machine.history == [_S.ACTIVE, _S.SLEEPING, _S.ACTIVE]
+
+    def test_is_in(self):
+        machine = StateMachine("T")
+        assert machine.is_in(_S.ACTIVE, _S.WAITING)
+        assert not machine.is_in(_S.COMMITTED)

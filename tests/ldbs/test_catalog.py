@@ -1,0 +1,51 @@
+"""Tests for the table catalog."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.ldbs.catalog import Catalog
+from repro.ldbs.schema import Column, ColumnType, TableSchema
+
+
+def schema(name: str) -> TableSchema:
+    return TableSchema(name, (Column("id", ColumnType.INT),),
+                       primary_key="id")
+
+
+class TestCatalog:
+    def test_create_and_fetch(self):
+        catalog = Catalog()
+        table = catalog.create_table(schema("flight"))
+        assert catalog.table("flight") is table
+
+    def test_duplicate_create_raises(self):
+        catalog = Catalog()
+        catalog.create_table(schema("flight"))
+        with pytest.raises(CatalogError):
+            catalog.create_table(schema("flight"))
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("ghost")
+
+    def test_drop_table(self):
+        catalog = Catalog()
+        catalog.create_table(schema("flight"))
+        catalog.drop_table("flight")
+        assert not catalog.has_table("flight")
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop_table("ghost")
+
+    def test_table_names_and_len(self):
+        catalog = Catalog()
+        catalog.create_table(schema("a"))
+        catalog.create_table(schema("b"))
+        assert catalog.table_names() == ("a", "b")
+        assert len(catalog) == 2
+
+    def test_iteration_yields_tables(self):
+        catalog = Catalog()
+        catalog.create_table(schema("a"))
+        assert [t.name for t in catalog] == ["a"]

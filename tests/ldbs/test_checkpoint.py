@@ -1,0 +1,93 @@
+"""Tests for quiesced checkpoints and recovery from a snapshot."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.ldbs.engine import Database
+from repro.ldbs.predicate import P
+from repro.ldbs.schema import Column, ColumnType, TableSchema
+
+
+def make_db() -> Database:
+    db = Database()
+    db.create_table(TableSchema(
+        "t", (Column("id", ColumnType.INT),
+              Column("v", ColumnType.INT)),
+        primary_key="id"))
+    db.seed("t", [{"id": k, "v": k * 10} for k in range(1, 4)])
+    return db
+
+
+class TestCheckpoint:
+    def test_checkpoint_counts_rows_and_truncates_wal(self):
+        db = make_db()
+        assert db.checkpoint() == 3
+        assert len(db.wal) == 0
+
+    def test_checkpoint_with_open_transaction_rejected(self):
+        db = make_db()
+        open_txn = db.begin()
+        with pytest.raises(TransactionError):
+            db.checkpoint()
+        open_txn.abort()
+
+    def test_crash_after_checkpoint_restores_snapshot(self):
+        db = make_db()
+        db.checkpoint()
+        report = db.crash()
+        assert any("checkpoint" in line for line in report.details)
+        with db.begin() as txn:
+            assert txn.get_by_key("t", 1)["v"] == 10
+            assert len(txn.select("t")) == 3
+
+    def test_post_checkpoint_commits_replayed(self):
+        db = make_db()
+        db.checkpoint()
+        db.run(lambda txn: txn.update("t", P("id") == 1, {"v": 99}))
+        db.run(lambda txn: txn.insert("t", {"id": 4, "v": 40}))
+        db.crash()
+        with db.begin() as txn:
+            assert txn.get_by_key("t", 1)["v"] == 99
+            assert txn.get_by_key("t", 4)["v"] == 40
+
+    def test_post_checkpoint_losers_discarded(self):
+        db = make_db()
+        db.checkpoint()
+        open_txn = db.begin()
+        open_txn.update("t", P("id") == 1, {"v": 0})
+        db.crash()
+        with db.begin() as txn:
+            assert txn.get_by_key("t", 1)["v"] == 10
+
+    def test_checkpoint_after_updates_captures_them(self):
+        db = make_db()
+        db.run(lambda txn: txn.update("t", P("id") == 2, {"v": 77}))
+        db.checkpoint()
+        db.crash()
+        with db.begin() as txn:
+            assert txn.get_by_key("t", 2)["v"] == 77
+
+    def test_deleted_rows_stay_deleted_across_checkpoint(self):
+        db = make_db()
+        db.run(lambda txn: txn.delete("t", P("id") == 3))
+        db.checkpoint()
+        db.crash()
+        with db.begin() as txn:
+            assert len(txn.select("t")) == 2
+
+    def test_second_checkpoint_supersedes_first(self):
+        db = make_db()
+        db.checkpoint()
+        db.run(lambda txn: txn.update("t", P("id") == 1, {"v": 50}))
+        db.checkpoint()
+        db.crash()
+        with db.begin() as txn:
+            assert txn.get_by_key("t", 1)["v"] == 50
+
+    def test_work_continues_normally_after_recovery(self):
+        db = make_db()
+        db.checkpoint()
+        db.crash()
+        db.run(lambda txn: txn.insert("t", {"id": 9, "v": 90}))
+        with db.begin() as txn:
+            assert txn.get_by_key("t", 9)["v"] == 90

@@ -1,0 +1,156 @@
+"""Tests for wait-for graphs, victim policies and timeout policies."""
+
+import pytest
+
+from repro.ldbs.deadlock import (
+    DeadlockDetector,
+    TimeoutPolicy,
+    VictimPolicy,
+    WaitForGraph,
+)
+
+
+class TestWaitForGraph:
+    def test_no_cycle_in_chain(self):
+        graph = WaitForGraph()
+        graph.add_waits("A", ["B"])
+        graph.add_waits("B", ["C"])
+        assert graph.find_cycle() is None
+
+    def test_two_cycle(self):
+        graph = WaitForGraph()
+        graph.add_waits("A", ["B"])
+        graph.add_waits("B", ["A"])
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {"A", "B"}
+
+    def test_three_cycle_found_from_start(self):
+        graph = WaitForGraph()
+        graph.add_waits("A", ["B"])
+        graph.add_waits("B", ["C"])
+        graph.add_waits("C", ["A"])
+        cycle = graph.find_cycle(start="A")
+        assert cycle is not None
+        assert set(cycle) == {"A", "B", "C"}
+
+    def test_cycle_not_reachable_from_start_is_missed(self):
+        graph = WaitForGraph()
+        graph.add_waits("A", ["B"])  # A -> B, no cycle via A
+        graph.add_waits("C", ["D"])
+        graph.add_waits("D", ["C"])
+        assert graph.find_cycle(start="A") is None
+        assert graph.find_cycle() is not None  # full scan finds C<->D
+
+    def test_self_edges_are_ignored(self):
+        graph = WaitForGraph()
+        graph.add_waits("A", ["A"])
+        assert graph.find_cycle() is None
+
+    def test_clear_waits_removes_cycle(self):
+        graph = WaitForGraph()
+        graph.add_waits("A", ["B"])
+        graph.add_waits("B", ["A"])
+        graph.clear_waits("A")
+        assert graph.find_cycle() is None
+
+    def test_remove_node_removes_incoming_edges(self):
+        graph = WaitForGraph()
+        graph.add_waits("A", ["B"])
+        graph.add_waits("B", ["A"])
+        graph.remove_node("B")
+        assert graph.find_cycle() is None
+        assert graph.waits_of("A") == frozenset()
+
+    def test_edges_listing(self):
+        graph = WaitForGraph()
+        graph.add_waits("A", ["B", "C"])
+        assert graph.edges() == (("A", "B"), ("A", "C"))
+
+    def test_diamond_without_cycle(self):
+        graph = WaitForGraph()
+        graph.add_waits("A", ["B", "C"])
+        graph.add_waits("B", ["D"])
+        graph.add_waits("C", ["D"])
+        assert graph.find_cycle() is None
+
+
+class TestDeadlockDetector:
+    def test_on_wait_detects_cycle_and_names_victim(self):
+        starts = {"A": 1.0, "B": 2.0}
+        detector = DeadlockDetector(
+            policy=VictimPolicy.YOUNGEST,
+            start_time_of=lambda t: starts[t])
+        assert detector.on_wait("A", ["B"]) is None
+        resolution = detector.on_wait("B", ["A"])
+        assert resolution is not None
+        assert resolution.victim == "B"  # youngest
+        assert set(resolution.cycle) == {"A", "B"}
+        assert detector.detections == 1
+
+    def test_oldest_policy(self):
+        starts = {"A": 1.0, "B": 2.0}
+        detector = DeadlockDetector(
+            policy=VictimPolicy.OLDEST,
+            start_time_of=lambda t: starts[t])
+        detector.on_wait("A", ["B"])
+        resolution = detector.on_wait("B", ["A"])
+        assert resolution.victim == "A"
+
+    def test_fewest_locks_policy(self):
+        locks = {"A": 5, "B": 1}
+        detector = DeadlockDetector(
+            policy=VictimPolicy.FEWEST_LOCKS,
+            lock_count_of=lambda t: locks[t])
+        detector.on_wait("A", ["B"])
+        resolution = detector.on_wait("B", ["A"])
+        assert resolution.victim == "B"
+
+    def test_stop_waiting_prevents_false_positives(self):
+        detector = DeadlockDetector()
+        detector.on_wait("A", ["B"])
+        detector.on_stop_waiting("A")
+        assert detector.on_wait("B", ["A"]) is None
+
+    def test_finished_transaction_removed(self):
+        detector = DeadlockDetector()
+        detector.on_wait("A", ["B"])
+        detector.on_finished("B")
+        assert detector.on_wait("B", ["A"]) is None or True  # no crash
+        assert detector.graph.waits_of("A") == frozenset()
+
+
+class TestTimeoutPolicy:
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(ValueError):
+            TimeoutPolicy(0.0)
+
+    def test_expiry(self):
+        policy = TimeoutPolicy(5.0)
+        policy.on_wait("A", now=10.0)
+        assert policy.expired(now=14.0) == ()
+        assert policy.expired(now=15.0) == ("A",)
+
+    def test_stop_waiting_clears(self):
+        policy = TimeoutPolicy(5.0)
+        policy.on_wait("A", now=0.0)
+        policy.on_stop_waiting("A")
+        assert policy.expired(now=100.0) == ()
+
+    def test_on_wait_keeps_earliest_start(self):
+        policy = TimeoutPolicy(5.0)
+        policy.on_wait("A", now=0.0)
+        policy.on_wait("A", now=4.0)  # must not reset
+        assert policy.expired(now=5.0) == ("A",)
+
+    def test_deadline_of(self):
+        policy = TimeoutPolicy(5.0)
+        policy.on_wait("A", now=2.0)
+        assert policy.deadline_of("A") == 7.0
+        assert policy.deadline_of("B") is None
+
+    def test_expired_sorted(self):
+        policy = TimeoutPolicy(1.0)
+        policy.on_wait("B", now=0.0)
+        policy.on_wait("A", now=0.0)
+        assert policy.expired(now=2.0) == ("A", "B")

@@ -1,0 +1,279 @@
+"""ACID tests for the Database facade."""
+
+import pytest
+
+from repro.errors import (
+    ConstraintViolation,
+    DeadlockError,
+    LockConflictError,
+    TransactionAborted,
+    TransactionError,
+)
+from repro.ldbs.constraints import NonNegative
+from repro.ldbs.engine import Database, DatabaseConfig
+from repro.ldbs.predicate import P
+from repro.ldbs.schema import Column, ColumnType, TableSchema
+
+
+def make_db(eager: bool = True) -> Database:
+    db = Database(DatabaseConfig(eager_constraints=eager))
+    db.create_table(
+        TableSchema("flight",
+                    (Column("id", ColumnType.INT),
+                     Column("free", ColumnType.INT)),
+                    primary_key="id"),
+        constraints=[NonNegative("flight", "free")])
+    db.seed("flight", [{"id": 1, "free": 10}, {"id": 2, "free": 5}])
+    return db
+
+
+class TestBasicTransactions:
+    def test_select_reads_seeded_rows(self):
+        db = make_db()
+        with db.begin() as txn:
+            rows = txn.select("flight")
+        assert sorted(r["id"] for r in rows) == [1, 2]
+
+    def test_select_with_predicate(self):
+        db = make_db()
+        with db.begin() as txn:
+            rows = txn.select("flight", P("free") > 5)
+        assert [r["id"] for r in rows] == [1]
+
+    def test_select_one(self):
+        db = make_db()
+        with db.begin() as txn:
+            row = txn.select_one("flight", P("id") == 2)
+        assert row["free"] == 5
+
+    def test_select_one_multiple_matches_raises(self):
+        db = make_db()
+        with pytest.raises(TransactionError):
+            with db.begin() as txn:
+                txn.select_one("flight")
+
+    def test_get_by_key(self):
+        db = make_db()
+        with db.begin() as txn:
+            assert txn.get_by_key("flight", 1)["free"] == 10
+
+    def test_insert_update_delete_roundtrip(self):
+        db = make_db()
+        with db.begin() as txn:
+            txn.insert("flight", {"id": 3, "free": 7})
+            txn.update("flight", P("id") == 3, {"free": 6})
+            assert txn.get_by_key("flight", 3)["free"] == 6
+        with db.begin() as txn:
+            assert txn.delete("flight", P("id") == 3) == 1
+
+    def test_update_with_callable(self):
+        db = make_db()
+        with db.begin() as txn:
+            txn.update("flight", P("id") == 1,
+                       lambda row: {"free": row["free"] - 1})
+        with db.begin() as txn:
+            assert txn.get_by_key("flight", 1)["free"] == 9
+
+    def test_update_by_rid(self):
+        db = make_db()
+        with db.begin() as txn:
+            rid = txn.get_by_key("flight", 1).rid
+            txn.update("flight", rid, {"free": 3})
+        with db.begin() as txn:
+            assert txn.get_by_key("flight", 1)["free"] == 3
+
+    def test_run_helper_autocommits(self):
+        db = make_db()
+        db.run(lambda txn: txn.update("flight", P("id") == 1, {"free": 0}))
+        with db.begin() as txn:
+            assert txn.get_by_key("flight", 1)["free"] == 0
+
+
+class TestAtomicity:
+    def test_abort_undoes_updates(self):
+        db = make_db()
+        txn = db.begin()
+        txn.update("flight", P("id") == 1, {"free": 0})
+        txn.abort()
+        with db.begin() as check:
+            assert check.get_by_key("flight", 1)["free"] == 10
+
+    def test_abort_undoes_inserts(self):
+        db = make_db()
+        txn = db.begin()
+        txn.insert("flight", {"id": 3, "free": 1})
+        txn.abort()
+        with db.begin() as check:
+            assert len(check.select("flight")) == 2
+
+    def test_abort_undoes_deletes(self):
+        db = make_db()
+        txn = db.begin()
+        txn.delete("flight", P("id") == 1)
+        txn.abort()
+        with db.begin() as check:
+            assert check.get_by_key("flight", 1)["free"] == 10
+
+    def test_context_manager_aborts_on_exception(self):
+        db = make_db()
+        with pytest.raises(RuntimeError):
+            with db.begin() as txn:
+                txn.update("flight", P("id") == 1, {"free": 0})
+                raise RuntimeError("user code failed")
+        with db.begin() as check:
+            assert check.get_by_key("flight", 1)["free"] == 10
+
+    def test_finished_transaction_rejects_work(self):
+        db = make_db()
+        txn = db.begin()
+        txn.commit()
+        with pytest.raises(TransactionAborted):
+            txn.select("flight")
+
+    def test_double_commit_rejected(self):
+        db = make_db()
+        txn = db.begin()
+        txn.commit()
+        with pytest.raises(TransactionAborted):
+            txn.commit()
+
+
+class TestConsistency:
+    def test_eager_constraint_blocks_write(self):
+        db = make_db()
+        with pytest.raises(ConstraintViolation):
+            with db.begin() as txn:
+                txn.update("flight", P("id") == 2, {"free": -1})
+        with db.begin() as check:
+            assert check.get_by_key("flight", 2)["free"] == 5
+
+    def test_eager_constraint_failed_write_not_applied(self):
+        db = make_db()
+        txn = db.begin()
+        with pytest.raises(ConstraintViolation):
+            txn.update("flight", P("id") == 2, {"free": -1})
+        # the failed write left no trace even before abort
+        assert txn.get_by_key("flight", 2)["free"] == 5
+        txn.abort()
+
+    def test_deferred_constraints_validate_at_commit(self):
+        db = make_db(eager=False)
+        txn = db.begin()
+        txn.update("flight", P("id") == 2, {"free": -1})  # allowed now
+        with pytest.raises(ConstraintViolation):
+            txn.commit()
+
+    def test_eager_constraint_on_insert(self):
+        db = make_db()
+        with pytest.raises(ConstraintViolation):
+            with db.begin() as txn:
+                txn.insert("flight", {"id": 9, "free": -5})
+        with db.begin() as check:
+            assert not check.select("flight", P("id") == 9)
+
+    def test_constraint_on_unknown_table_rejected(self):
+        db = make_db()
+        with pytest.raises(TransactionError):
+            db.add_constraint(NonNegative("ghost", "x"))
+
+
+class TestIsolation:
+    def test_write_write_conflict_raises(self):
+        db = make_db()
+        txn1 = db.begin()
+        txn2 = db.begin()
+        txn1.update("flight", P("id") == 1, {"free": 9})
+        with pytest.raises(LockConflictError):
+            txn2.update("flight", P("id") == 1, {"free": 8})
+        txn1.commit()
+        txn2.abort()
+
+    def test_read_write_conflict_raises(self):
+        db = make_db()
+        reader = db.begin()
+        writer = db.begin()
+        reader.select("flight", P("id") == 1)
+        with pytest.raises(LockConflictError):
+            writer.update("flight", P("id") == 1, {"free": 0})
+        reader.commit()
+        writer.abort()
+
+    def test_readers_share(self):
+        db = make_db()
+        txn1 = db.begin()
+        txn2 = db.begin()
+        assert txn1.select("flight", P("id") == 1)
+        assert txn2.select("flight", P("id") == 1)
+        txn1.commit()
+        txn2.commit()
+
+    def test_locks_released_after_commit(self):
+        db = make_db()
+        txn1 = db.begin()
+        txn1.update("flight", P("id") == 1, {"free": 9})
+        txn1.commit()
+        with db.begin() as txn2:
+            txn2.update("flight", P("id") == 1, {"free": 8})
+
+    def test_crossing_upgrade_attempt_conflicts(self):
+        db = make_db()
+        txn1 = db.begin()
+        txn2 = db.begin()
+        txn1.select("flight", P("id") == 1)   # S on row 1
+        txn2.select("flight", P("id") == 2)   # S on row 2
+        # the nowait engine surfaces the would-be wait as a conflict
+        with pytest.raises(LockConflictError):
+            txn1.update("flight", P("id") == 2, {"free": 4})
+        txn2.abort()
+        txn1.abort()
+
+    def test_wait_for_graph_detects_cycle(self):
+        db = make_db()
+        txn1 = db.begin()
+        txn2 = db.begin()
+        txn1.update("flight", P("id") == 1, {"free": 9})
+        txn2.update("flight", P("id") == 2, {"free": 4})
+        # txn1 -> row2 held by txn2: records edge, raises conflict
+        with pytest.raises(LockConflictError):
+            txn1.update("flight", P("id") == 2, {"free": 3})
+        # txn2 -> row1 held by txn1: closes the cycle
+        with pytest.raises((DeadlockError, LockConflictError)) as info:
+            txn2.update("flight", P("id") == 1, {"free": 8})
+        txn1.abort()
+        txn2.abort()
+
+
+class TestDurability:
+    def test_crash_preserves_committed_state(self):
+        db = make_db()
+        db.run(lambda txn: txn.update("flight", P("id") == 1, {"free": 3}))
+        report = db.crash()
+        assert "ldbs-1" in report.winners or report.winners
+        with db.begin() as check:
+            assert check.get_by_key("flight", 1)["free"] == 3
+
+    def test_crash_discards_open_transactions(self):
+        db = make_db()
+        open_txn = db.begin()
+        open_txn.update("flight", P("id") == 1, {"free": 0})
+        db.crash()
+        with db.begin() as check:
+            assert check.get_by_key("flight", 1)["free"] == 10
+        with pytest.raises(TransactionAborted):
+            open_txn.select("flight")
+
+    def test_crash_releases_locks(self):
+        db = make_db()
+        open_txn = db.begin()
+        open_txn.update("flight", P("id") == 1, {"free": 0})
+        db.crash()
+        with db.begin() as txn:
+            txn.update("flight", P("id") == 1, {"free": 9})
+
+    def test_counters(self):
+        db = make_db()  # seeding commits once
+        db.run(lambda txn: None)
+        txn = db.begin()
+        txn.abort()
+        assert db.commits == 2
+        assert db.aborts == 1

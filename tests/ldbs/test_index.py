@@ -1,0 +1,187 @@
+"""Tests for secondary hash indexes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaError, StorageError
+from repro.ldbs.engine import Database
+from repro.ldbs.predicate import P
+from repro.ldbs.schema import Column, ColumnType, TableSchema
+from repro.ldbs.storage import HeapTable
+
+
+def make_table() -> HeapTable:
+    return HeapTable(TableSchema(
+        "t",
+        (Column("id", ColumnType.INT),
+         Column("town", ColumnType.TEXT, nullable=True),
+         Column("v", ColumnType.INT, default=0)),
+        primary_key="id"))
+
+
+class TestIndexMaintenance:
+    def test_create_index_over_existing_rows(self):
+        table = make_table()
+        table.insert({"id": 1, "town": "Naples"})
+        table.insert({"id": 2, "town": "Rome"})
+        table.create_index("town")
+        assert [r["id"] for r in table.lookup("town", "Naples")] == [1]
+
+    def test_create_index_idempotent(self):
+        table = make_table()
+        table.create_index("town")
+        table.create_index("town")
+        assert table.indexed_columns() == ("town",)
+
+    def test_create_index_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            make_table().create_index("ghost")
+
+    def test_lookup_without_index_raises(self):
+        with pytest.raises(StorageError):
+            make_table().lookup("town", "Naples")
+
+    def test_insert_maintains_index(self):
+        table = make_table()
+        table.create_index("town")
+        table.insert({"id": 1, "town": "Naples"})
+        assert len(table.lookup("town", "Naples")) == 1
+
+    def test_update_moves_between_buckets(self):
+        table = make_table()
+        table.create_index("town")
+        row = table.insert({"id": 1, "town": "Naples"})
+        table.update(row.rid, {"town": "Rome"})
+        assert table.lookup("town", "Naples") == []
+        assert [r["id"] for r in table.lookup("town", "Rome")] == [1]
+
+    def test_delete_removes_from_index(self):
+        table = make_table()
+        table.create_index("town")
+        row = table.insert({"id": 1, "town": "Naples"})
+        table.delete(row.rid)
+        assert table.lookup("town", "Naples") == []
+
+    def test_restore_reindexes(self):
+        table = make_table()
+        table.create_index("town")
+        row = table.insert({"id": 1, "town": "Naples"})
+        table.delete(row.rid)
+        table.restore(row)
+        assert len(table.lookup("town", "Naples")) == 1
+
+    def test_restore_of_older_version_replaces_bucket(self):
+        table = make_table()
+        table.create_index("town")
+        row = table.insert({"id": 1, "town": "Naples"})
+        before, _after = table.update(row.rid, {"town": "Rome"})
+        table.restore(before)  # undo: back to Naples
+        assert [r["id"] for r in table.lookup("town", "Naples")] == [1]
+        assert table.lookup("town", "Rome") == []
+
+    def test_clear_empties_buckets(self):
+        table = make_table()
+        table.create_index("town")
+        table.insert({"id": 1, "town": "Naples"})
+        table.clear()
+        assert table.lookup("town", "Naples") == []
+
+    def test_duplicate_values_share_bucket(self):
+        table = make_table()
+        table.create_index("town")
+        table.insert({"id": 1, "town": "Naples"})
+        table.insert({"id": 2, "town": "Naples"})
+        assert len(table.lookup("town", "Naples")) == 2
+
+    def test_drop_index(self):
+        table = make_table()
+        table.create_index("town")
+        table.drop_index("town")
+        assert not table.has_index("town")
+
+
+class TestCandidates:
+    def test_equality_on_indexed_column_uses_index(self):
+        table = make_table()
+        table.create_index("town")
+        for k in range(10):
+            table.insert({"id": k, "town": "Naples" if k < 3 else "Rome"})
+        rows = list(table.candidates(P("town") == "Naples"))
+        assert sorted(r["id"] for r in rows) == [0, 1, 2]
+
+    def test_equality_on_primary_key_uses_key_index(self):
+        table = make_table()
+        for k in range(5):
+            table.insert({"id": k})
+        rows = list(table.candidates(P("id") == 3))
+        assert [r["id"] for r in rows] == [3]
+
+    def test_non_equality_falls_back_to_scan(self):
+        table = make_table()
+        table.create_index("v")
+        for k in range(5):
+            table.insert({"id": k, "v": k})
+        rows = list(table.candidates(P("v") > 2))
+        assert sorted(r["id"] for r in rows) == [3, 4]
+
+    def test_composite_predicate_falls_back_to_scan(self):
+        table = make_table()
+        table.create_index("town")
+        table.insert({"id": 1, "town": "Naples", "v": 1})
+        table.insert({"id": 2, "town": "Naples", "v": 2})
+        predicate = (P("town") == "Naples") & (P("v") > 1)
+        rows = list(table.candidates(predicate))
+        assert [r["id"] for r in rows] == [2]
+
+    def test_missing_value_yields_nothing(self):
+        table = make_table()
+        table.create_index("town")
+        table.insert({"id": 1, "town": "Naples"})
+        assert list(table.candidates(P("town") == "Milan")) == []
+
+    @given(st.lists(st.tuples(st.integers(0, 200),
+                              st.sampled_from(["a", "b", "c"])),
+                    min_size=1, max_size=60, unique_by=lambda t: t[0]))
+    def test_indexed_equals_scan(self, rows):
+        """Property: indexed candidates == scan results for equality."""
+        table = make_table()
+        table.create_index("town")
+        for key, town in rows:
+            table.insert({"id": key, "town": town})
+        for town in ("a", "b", "c"):
+            via_index = sorted(r["id"] for r in
+                               table.candidates(P("town") == town))
+            via_scan = sorted(r["id"] for r in
+                              table.scan(P("town") == town))
+            assert via_index == via_scan
+
+
+class TestDatabaseIntegration:
+    def test_select_through_index(self):
+        db = Database()
+        db.create_table(TableSchema(
+            "hotel", (Column("id", ColumnType.INT),
+                      Column("town", ColumnType.TEXT)),
+            primary_key="id"))
+        db.create_index("hotel", "town")
+        db.seed("hotel", [{"id": k, "town": "Naples" if k % 2 else "Rome"}
+                          for k in range(10)])
+        with db.begin() as txn:
+            rows = txn.select("hotel", P("town") == "Naples")
+        assert len(rows) == 5
+
+    def test_update_through_index_respects_locks(self):
+        db = Database()
+        db.create_table(TableSchema(
+            "hotel", (Column("id", ColumnType.INT),
+                      Column("town", ColumnType.TEXT),
+                      Column("free", ColumnType.INT, default=5)),
+            primary_key="id"))
+        db.create_index("hotel", "town")
+        db.seed("hotel", [{"id": 1, "town": "Naples"}])
+        with db.begin() as txn:
+            updated = txn.update("hotel", P("town") == "Naples",
+                                 {"free": 4})
+        assert len(updated) == 1
+        with db.begin() as check:
+            assert check.get_by_key("hotel", 1)["free"] == 4

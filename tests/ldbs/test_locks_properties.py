@@ -1,0 +1,111 @@
+"""Property tests on the lock manager's safety invariants.
+
+Under any legal sequence of acquire / release / release_all / cancel:
+
+- no resource ever has two incompatible holders (S/X exclusion);
+- a transaction is never simultaneously a holder and a waiter on the
+  same resource;
+- every grant callback fires exactly once per queued request.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LockError
+from repro.ldbs.locks import LockManager, LockMode
+
+N_TXNS = 5
+N_RESOURCES = 3
+
+actions = st.lists(
+    st.tuples(
+        st.integers(0, N_TXNS - 1),
+        st.sampled_from(["acquire_s", "acquire_x", "release",
+                         "release_all", "cancel"]),
+        st.integers(0, N_RESOURCES - 1)),
+    min_size=1, max_size=80)
+
+
+class Driver:
+    def __init__(self):
+        self.locks = LockManager()
+        self.grants: list[tuple[str, object]] = []
+
+    def on_grant(self, txn_id, resource):
+        self.grants.append((txn_id, resource))
+
+    def step(self, txn_index, action, resource_index):
+        txn_id = f"T{txn_index}"
+        resource = f"R{resource_index}"
+        held = self.locks.mode_held(txn_id, resource)
+        queued = txn_id in self.locks.waiters(resource)
+        if action in ("acquire_s", "acquire_x"):
+            mode = LockMode.S if action == "acquire_s" else LockMode.X
+            if queued:
+                return  # duplicate queued requests are illegal
+            if held is LockMode.X and mode is LockMode.S:
+                pass  # no-op grant path
+            try:
+                self.locks.acquire(txn_id, resource, mode,
+                                   on_grant=self.on_grant)
+            except LockError:
+                pass  # the documented illegal combinations
+        elif action == "release":
+            if self.locks.mode_held(txn_id, resource) is not None:
+                self.locks.release(txn_id, resource)
+        elif action == "release_all":
+            self.locks.release_all(txn_id)
+        elif action == "cancel":
+            self.locks.cancel_request(txn_id, resource)
+        self.check_invariants()
+
+    def check_invariants(self):
+        for resource_index in range(N_RESOURCES):
+            resource = f"R{resource_index}"
+            holders = self.locks.holders(resource)
+            x_holders = [t for t, mode in holders.items()
+                         if mode is LockMode.X]
+            if x_holders:
+                assert len(holders) == 1, \
+                    f"{resource}: X holder {x_holders} coexists with " \
+                    f"{holders}"
+            waiters = set(self.locks.waiters(resource))
+            # a waiter holding the same resource must be an upgrader
+            for waiter in waiters & set(holders):
+                assert holders[waiter] is LockMode.S
+
+
+@settings(max_examples=150, deadline=None)
+@given(actions)
+def test_random_lock_traffic_preserves_exclusion(action_list):
+    driver = Driver()
+    for txn_index, action, resource_index in action_list:
+        driver.step(txn_index, action, resource_index)
+    # drain: releasing everything must grant every grantable waiter
+    for txn_index in range(N_TXNS):
+        driver.locks.release_all(f"T{txn_index}")
+        driver.check_invariants()
+    for resource_index in range(N_RESOURCES):
+        resource = f"R{resource_index}"
+        assert driver.locks.holders(resource) == {}
+        assert driver.locks.waiters(resource) == ()
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(0, N_TXNS - 1), min_size=2, max_size=20))
+def test_fifo_writers_granted_in_arrival_order(writer_sequence):
+    """Queued X requests on one resource are granted strictly FIFO."""
+    locks = LockManager()
+    grants: list[str] = []
+    locks.acquire("HOLDER", "R", LockMode.X)
+    queued: list[str] = []
+    for index, txn in enumerate(writer_sequence):
+        txn_id = f"W{index}"   # unique ids: every request queues
+        locks.acquire(txn_id, "R", LockMode.X,
+                      on_grant=lambda t, r: grants.append(t))
+        queued.append(txn_id)
+    locks.release("HOLDER", "R")
+    # grants happen one at a time as each writer releases
+    for txn_id in list(queued):
+        if locks.mode_held(txn_id, "R"):
+            locks.release(txn_id, "R")
+    assert grants == queued

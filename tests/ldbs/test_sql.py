@@ -1,0 +1,297 @@
+"""Tests for the mini-SQL front end."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.core.opclass import OperationClass
+from repro.ldbs.engine import Database
+from repro.ldbs.schema import Column, ColumnType, TableSchema
+from repro.ldbs.sql import (
+    Arithmetic,
+    Assignment,
+    ColumnRef,
+    Comparison,
+    DeleteStatement,
+    InsertStatement,
+    Literal,
+    SelectStatement,
+    UpdateStatement,
+    classify_set,
+    classify_update,
+    compile_condition,
+    parse,
+    run,
+    tokenize,
+    update_invocations,
+)
+
+
+def make_db() -> Database:
+    db = Database()
+    db.create_table(TableSchema(
+        "flight",
+        (Column("id", ColumnType.INT),
+         Column("company", ColumnType.TEXT, nullable=True),
+         Column("free_tickets", ColumnType.INT),
+         Column("price", ColumnType.FLOAT, default=100.0)),
+        primary_key="id"))
+    db.seed("flight", [
+        {"id": 1, "company": "AZ", "free_tickets": 10, "price": 120.0},
+        {"id": 2, "company": "FR", "free_tickets": 0, "price": 40.0},
+        {"id": 3, "company": None, "free_tickets": 5, "price": 80.0},
+    ])
+    return db
+
+
+class TestTokenizer:
+    def test_numbers_strings_idents(self):
+        tokens = tokenize("SELECT a FROM t WHERE b = 'x''y' AND c = 1.5")
+        kinds = [t.kind for t in tokens]
+        assert kinds.count("keyword") == 4  # SELECT FROM WHERE AND
+        string_token = next(t for t in tokens if t.kind == "string")
+        assert string_token.value == "x'y"
+        number_token = next(t for t in tokens if t.kind == "number")
+        assert number_token.value == 1.5
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(QueryError):
+            tokenize("SELECT @ FROM t")
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select a from t")
+        assert tokens[0].kind == "keyword"
+        assert tokens[0].value == "SELECT"
+
+
+class TestParser:
+    def test_select_star(self):
+        statement = parse("SELECT * FROM flight")
+        assert isinstance(statement, SelectStatement)
+        assert statement.columns is None
+        assert statement.where is None
+
+    def test_select_columns_where(self):
+        statement = parse(
+            "SELECT id, free_tickets FROM flight WHERE company = 'AZ'")
+        assert statement.columns == ("id", "free_tickets")
+        assert isinstance(statement.where, Comparison)
+
+    def test_insert(self):
+        statement = parse(
+            "INSERT INTO flight (id, free_tickets) VALUES (9, 3)")
+        assert isinstance(statement, InsertStatement)
+        assert statement.values == (9, 3)
+
+    def test_insert_arity_mismatch(self):
+        with pytest.raises(QueryError):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_update_with_arithmetic(self):
+        statement = parse(
+            "UPDATE flight SET free_tickets = free_tickets - 1 "
+            "WHERE id = 1")
+        assert isinstance(statement, UpdateStatement)
+        (assignment,) = statement.assignments
+        assert assignment.expression == Arithmetic("free_tickets", "-", 1)
+
+    def test_update_multiple_sets(self):
+        statement = parse("UPDATE t SET a = 1, b = b + 2")
+        assert len(statement.assignments) == 2
+
+    def test_delete(self):
+        statement = parse("DELETE FROM flight WHERE id = 2")
+        assert isinstance(statement, DeleteStatement)
+
+    def test_where_precedence_and_parens(self):
+        statement = parse(
+            "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        # OR binds loosest: (a=1) OR ((b=2) AND (c=3))
+        assert statement.where.operator == "or"
+        statement2 = parse(
+            "SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert statement2.where.operator == "and"
+
+    def test_is_null_and_not(self):
+        statement = parse(
+            "SELECT * FROM t WHERE a IS NULL AND NOT b IS NOT NULL")
+        assert statement.where.operator == "and"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QueryError):
+            parse("SELECT * FROM t garbage here")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(QueryError):
+            parse("SELECT a WHERE b = 1")
+
+
+class TestExecution:
+    def test_select_star(self):
+        db = make_db()
+        rows = run(db, "SELECT * FROM flight")
+        assert len(rows) == 3
+
+    def test_select_projection(self):
+        db = make_db()
+        rows = run(db, "SELECT company FROM flight WHERE id = 1")
+        assert rows == [{"company": "AZ"}]
+
+    def test_select_with_comparison(self):
+        db = make_db()
+        rows = run(db, "SELECT id FROM flight WHERE free_tickets > 0")
+        assert sorted(r["id"] for r in rows) == [1, 3]
+
+    def test_select_is_null(self):
+        db = make_db()
+        rows = run(db, "SELECT id FROM flight WHERE company IS NULL")
+        assert [r["id"] for r in rows] == [3]
+
+    def test_paper_booking_update(self):
+        db = make_db()
+        count = run(db, "UPDATE flight SET free_tickets = "
+                        "free_tickets - 1 WHERE id = 1")
+        assert count == 1
+        rows = run(db, "SELECT free_tickets FROM flight WHERE id = 1")
+        assert rows == [{"free_tickets": 9}]
+
+    def test_update_assignment(self):
+        db = make_db()
+        run(db, "UPDATE flight SET price = 99.0 WHERE company = 'AZ'")
+        rows = run(db, "SELECT price FROM flight WHERE id = 1")
+        assert rows == [{"price": 99.0}]
+
+    def test_update_without_where_touches_all(self):
+        db = make_db()
+        count = run(db, "UPDATE flight SET price = 1.0")
+        assert count == 3
+
+    def test_insert_and_delete(self):
+        db = make_db()
+        run(db, "INSERT INTO flight (id, company, free_tickets) "
+                "VALUES (9, 'LH', 7)")
+        assert len(run(db, "SELECT * FROM flight")) == 4
+        deleted = run(db, "DELETE FROM flight WHERE id = 9")
+        assert deleted == 1
+        assert len(run(db, "SELECT * FROM flight")) == 3
+
+    def test_statements_are_transactional(self):
+        """A failing UPDATE (constraint) rolls back atomically."""
+        from repro.ldbs.constraints import NonNegative
+        db = make_db()
+        db.add_constraint(NonNegative("flight", "free_tickets"))
+        with pytest.raises(Exception):
+            run(db, "UPDATE flight SET free_tickets = "
+                    "free_tickets - 1")  # row id=2 would go to -1
+        rows = run(db, "SELECT free_tickets FROM flight WHERE id = 1")
+        assert rows == [{"free_tickets": 10}]  # id=1's -1 rolled back
+
+
+class TestClassification:
+    def test_subtraction_classified_addsub(self):
+        result = classify_update(
+            "UPDATE flight SET free_tickets = free_tickets - 1")
+        assert result == [("free_tickets",
+                           OperationClass.UPDATE_ADDSUB, -1)]
+
+    def test_addition(self):
+        result = classify_update("UPDATE t SET a = a + 5")
+        assert result == [("a", OperationClass.UPDATE_ADDSUB, 5)]
+
+    def test_assignment(self):
+        result = classify_update("UPDATE flight SET price = 100")
+        assert result == [("price", OperationClass.UPDATE_ASSIGN, 100)]
+
+    def test_multiplication(self):
+        result = classify_update("UPDATE t SET a = a * 2")
+        assert result == [("a", OperationClass.UPDATE_MULDIV, 2)]
+
+    def test_division_becomes_factor(self):
+        ((_, op_class, operand),) = classify_update(
+            "UPDATE t SET a = a / 4")
+        assert op_class is OperationClass.UPDATE_MULDIV
+        assert operand == pytest.approx(0.25)
+
+    def test_cross_column_is_assignment(self):
+        ((_, op_class, operand),) = classify_update(
+            "UPDATE t SET a = b")
+        assert op_class is OperationClass.UPDATE_ASSIGN
+        assert operand is None
+
+    def test_arithmetic_on_other_column_is_assignment(self):
+        assignment = Assignment("a", Arithmetic("b", "+", 1))
+        op_class, operand = classify_set(assignment)
+        assert op_class is OperationClass.UPDATE_ASSIGN
+
+    def test_multiply_by_zero_rejected(self):
+        with pytest.raises(QueryError):
+            classify_update("UPDATE t SET a = a * 0")
+
+    def test_classify_requires_update(self):
+        with pytest.raises(QueryError):
+            classify_update("SELECT * FROM t")
+
+    def test_update_invocations_drive_the_gtm(self):
+        """The full bridge: SQL -> invocations -> GTM -> reconciliation."""
+        from repro.core.gtm import GlobalTransactionManager
+        (invocation,) = update_invocations(
+            "UPDATE flight SET free_tickets = free_tickets - 1")
+        gtm = GlobalTransactionManager()
+        gtm.create_object("seats", members={"free_tickets": 10})
+        gtm.begin("A")
+        gtm.begin("B")
+        gtm.invoke("A", "seats", invocation)
+        gtm.invoke("B", "seats", invocation)   # compatible: both granted
+        gtm.apply("A", "seats", invocation)
+        gtm.apply("B", "seats", invocation)
+        gtm.request_commit("A")
+        gtm.request_commit("B")
+        gtm.pump_commits()
+        assert gtm.object("seats").permanent_value("free_tickets") == 8
+
+    def test_non_literal_invocation_rejected(self):
+        with pytest.raises(QueryError):
+            update_invocations("UPDATE t SET a = b")
+
+    def test_multi_clause_update_drives_multimember_grants(self):
+        """A two-clause UPDATE becomes two member invocations, both
+        granted to one transaction on one structured object, sharing
+        the object with a concurrent compatible booking."""
+        from repro.core.gtm import GlobalTransactionManager
+        ops = update_invocations(
+            "UPDATE flight SET free_tickets = free_tickets - 1, "
+            "price = price + 5")
+        assert len(ops) == 2
+        gtm = GlobalTransactionManager()
+        gtm.create_object("flight:1", members={"free_tickets": 10,
+                                               "price": 100.0})
+        gtm.begin("package")
+        gtm.begin("rival")
+        for op in ops:
+            assert gtm.invoke("package", "flight:1", op) == "granted"
+            gtm.apply("package", "flight:1", op)
+        # a rival booking shares the seats member concurrently
+        (rival_op,) = update_invocations(
+            "UPDATE flight SET free_tickets = free_tickets - 2")
+        assert gtm.invoke("rival", "flight:1", rival_op) == "granted"
+        gtm.apply("rival", "flight:1", rival_op)
+        gtm.request_commit("package")
+        gtm.pump_commits()
+        gtm.request_commit("rival")
+        gtm.pump_commits()
+        obj = gtm.object("flight:1")
+        assert obj.permanent_value("free_tickets") == 7   # -1 and -2
+        assert obj.permanent_value("price") == 105.0
+
+
+class TestCompileCondition:
+    def test_none_is_always(self):
+        predicate = compile_condition(None)
+        assert predicate({"anything": 0})
+
+    def test_nested_boolean(self):
+        statement = parse(
+            "SELECT * FROM t WHERE NOT (a = 1 OR a = 2) AND b >= 10")
+        predicate = compile_condition(statement.where)
+        assert predicate({"a": 3, "b": 10})
+        assert not predicate({"a": 1, "b": 10})
+        assert not predicate({"a": 3, "b": 9})

@@ -1,0 +1,125 @@
+"""Tests for the SQL extensions: ORDER BY, LIMIT, aggregates."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.ldbs.engine import Database
+from repro.ldbs.schema import Column, ColumnType, TableSchema
+from repro.ldbs.sql import Aggregate, OrderBy, parse, run
+
+
+def make_db() -> Database:
+    db = Database()
+    db.create_table(TableSchema(
+        "hotel",
+        (Column("id", ColumnType.INT),
+         Column("town", ColumnType.TEXT),
+         Column("free", ColumnType.INT),
+         Column("price", ColumnType.FLOAT, nullable=True)),
+        primary_key="id"))
+    db.seed("hotel", [
+        {"id": 1, "town": "Naples", "free": 5, "price": 80.0},
+        {"id": 2, "town": "Rome", "free": 0, "price": 120.0},
+        {"id": 3, "town": "Naples", "free": 9, "price": None},
+        {"id": 4, "town": "Avellino", "free": 2, "price": 60.0},
+    ])
+    return db
+
+
+class TestOrderByParsing:
+    def test_order_by_default_ascending(self):
+        statement = parse("SELECT * FROM hotel ORDER BY free")
+        assert statement.order_by == OrderBy("free", descending=False)
+
+    def test_order_by_desc(self):
+        statement = parse("SELECT * FROM hotel ORDER BY free DESC")
+        assert statement.order_by.descending
+
+    def test_limit(self):
+        statement = parse("SELECT * FROM hotel LIMIT 2")
+        assert statement.limit == 2
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(QueryError):
+            parse("SELECT * FROM hotel LIMIT 1.5")
+        with pytest.raises(QueryError):
+            parse("SELECT * FROM hotel LIMIT -1")
+
+    def test_aggregate_parsing(self):
+        statement = parse("SELECT COUNT(*), SUM(free) FROM hotel")
+        assert statement.aggregates == (Aggregate("count", None),
+                                        Aggregate("sum", "free"))
+
+    def test_star_only_valid_for_count(self):
+        with pytest.raises(QueryError):
+            parse("SELECT SUM(*) FROM hotel")
+
+    def test_aggregate_with_order_by_rejected(self):
+        with pytest.raises(QueryError):
+            parse("SELECT COUNT(*) FROM hotel ORDER BY free")
+
+
+class TestOrderByExecution:
+    def test_sorted_ascending(self):
+        rows = run(make_db(), "SELECT id FROM hotel ORDER BY free")
+        assert [r["id"] for r in rows] == [2, 4, 1, 3]
+
+    def test_sorted_descending(self):
+        rows = run(make_db(),
+                   "SELECT id FROM hotel ORDER BY free DESC")
+        assert [r["id"] for r in rows] == [3, 1, 4, 2]
+
+    def test_order_with_where_and_limit(self):
+        rows = run(make_db(),
+                   "SELECT id FROM hotel WHERE free > 0 "
+                   "ORDER BY free DESC LIMIT 2")
+        assert [r["id"] for r in rows] == [3, 1]
+
+    def test_limit_zero(self):
+        assert run(make_db(), "SELECT * FROM hotel LIMIT 0") == []
+
+    def test_limit_beyond_rows(self):
+        assert len(run(make_db(), "SELECT * FROM hotel LIMIT 99")) == 4
+
+
+class TestAggregates:
+    def test_count_star(self):
+        (row,) = run(make_db(), "SELECT COUNT(*) FROM hotel")
+        assert row == {"count(*)": 4}
+
+    def test_count_star_with_where(self):
+        (row,) = run(make_db(),
+                     "SELECT COUNT(*) FROM hotel WHERE town = 'Naples'")
+        assert row == {"count(*)": 2}
+
+    def test_sum_min_max(self):
+        (row,) = run(make_db(),
+                     "SELECT SUM(free), MIN(free), MAX(free) FROM hotel")
+        assert row == {"sum(free)": 16, "min(free)": 0, "max(free)": 9}
+
+    def test_avg(self):
+        (row,) = run(make_db(), "SELECT AVG(free) FROM hotel")
+        assert row["avg(free)"] == pytest.approx(4.0)
+
+    def test_count_column_skips_nulls(self):
+        (row,) = run(make_db(), "SELECT COUNT(price) FROM hotel")
+        assert row == {"count(price)": 3}
+
+    def test_avg_skips_nulls(self):
+        (row,) = run(make_db(), "SELECT AVG(price) FROM hotel")
+        assert row["avg(price)"] == pytest.approx((80 + 120 + 60) / 3)
+
+    def test_aggregates_over_empty_match(self):
+        (row,) = run(make_db(),
+                     "SELECT COUNT(*), SUM(free), AVG(free) FROM hotel "
+                     "WHERE town = 'Milan'")
+        assert row["count(*)"] == 0
+        assert row["sum(free)"] == 0
+        assert row["avg(free)"] is None
+
+    def test_booking_availability_query(self):
+        """The motivating scenario's 'check availability' as one query."""
+        (row,) = run(make_db(),
+                     "SELECT COUNT(*) FROM hotel WHERE town = 'Naples' "
+                     "AND free > 0")
+        assert row["count(*)"] == 2

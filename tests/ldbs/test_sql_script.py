@@ -1,0 +1,78 @@
+"""Tests for multi-statement SQL scripts (single-transaction)."""
+
+import pytest
+
+from repro.errors import ConstraintViolation
+from repro.ldbs.constraints import NonNegative
+from repro.ldbs.engine import Database
+from repro.ldbs.schema import Column, ColumnType, TableSchema
+from repro.ldbs.sql import run, run_script, split_statements
+
+
+def make_db() -> Database:
+    db = Database()
+    db.create_table(TableSchema(
+        "flight",
+        (Column("id", ColumnType.INT),
+         Column("company", ColumnType.TEXT, nullable=True),
+         Column("free", ColumnType.INT)),
+        primary_key="id"),
+        constraints=[NonNegative("flight", "free")])
+    db.seed("flight", [{"id": 1, "company": "AZ", "free": 5}])
+    return db
+
+
+class TestSplitStatements:
+    def test_simple_split(self):
+        parts = split_statements("SELECT * FROM a; SELECT * FROM b;")
+        assert parts == ["SELECT * FROM a", "SELECT * FROM b"]
+
+    def test_semicolon_inside_string_kept(self):
+        parts = split_statements(
+            "UPDATE t SET name = 'a;b' WHERE id = 1; DELETE FROM t")
+        assert len(parts) == 2
+        assert "'a;b'" in parts[0]
+
+    def test_escaped_quote_inside_string(self):
+        parts = split_statements(
+            "UPDATE t SET name = 'it''s;fine'; SELECT * FROM t")
+        assert len(parts) == 2
+        assert "it''s;fine" in parts[0]
+
+    def test_empty_segments_skipped(self):
+        assert split_statements(";;  ; SELECT * FROM t ;;") == \
+            ["SELECT * FROM t"]
+
+    def test_no_trailing_semicolon_needed(self):
+        assert split_statements("SELECT * FROM t") == ["SELECT * FROM t"]
+
+
+class TestRunScript:
+    def test_booking_script_commits_atomically(self):
+        db = make_db()
+        results = run_script(db, """
+            UPDATE flight SET free = free - 1 WHERE id = 1;
+            SELECT free FROM flight WHERE id = 1;
+        """)
+        assert results[0] == 1
+        assert results[1] == [{"free": 4}]
+        rows = run(db, "SELECT free FROM flight WHERE id = 1")
+        assert rows == [{"free": 4}]
+
+    def test_failure_rolls_back_whole_script(self):
+        db = make_db()
+        with pytest.raises(ConstraintViolation):
+            run_script(db, """
+                UPDATE flight SET free = free - 1 WHERE id = 1;
+                UPDATE flight SET free = free - 99 WHERE id = 1;
+            """)
+        rows = run(db, "SELECT free FROM flight WHERE id = 1")
+        assert rows == [{"free": 5}]   # the first update rolled back too
+
+    def test_insert_then_read_in_one_transaction(self):
+        db = make_db()
+        results = run_script(db, """
+            INSERT INTO flight (id, company, free) VALUES (2, 'FR', 3);
+            SELECT COUNT(*) FROM flight;
+        """)
+        assert results[1] == [{"count(*)": 2}]

@@ -1,0 +1,87 @@
+"""Tests for the write-ahead log."""
+
+import pytest
+
+from repro.errors import WALError
+from repro.ldbs.wal import RecordType, WriteAheadLog
+
+
+class TestLogging:
+    def test_lsns_are_sequential(self):
+        wal = WriteAheadLog()
+        wal.log_begin("T1")
+        wal.log_insert("T1", "t", 1, {"a": 1})
+        wal.log_commit("T1")
+        assert [r.lsn for r in wal] == [1, 2, 3]
+
+    def test_begin_twice_raises(self):
+        wal = WriteAheadLog()
+        wal.log_begin("T1")
+        with pytest.raises(WALError):
+            wal.log_begin("T1")
+
+    def test_begin_after_finish_raises(self):
+        wal = WriteAheadLog()
+        wal.log_begin("T1")
+        wal.log_commit("T1")
+        with pytest.raises(WALError):
+            wal.log_begin("T1")
+
+    def test_data_record_requires_active_txn(self):
+        wal = WriteAheadLog()
+        with pytest.raises(WALError):
+            wal.log_insert("ghost", "t", 1, {"a": 1})
+
+    def test_commit_requires_active_txn(self):
+        with pytest.raises(WALError):
+            WriteAheadLog().log_commit("ghost")
+
+    def test_update_keeps_before_and_after_images(self):
+        wal = WriteAheadLog()
+        wal.log_begin("T1")
+        record = wal.log_update("T1", "t", 1, {"a": 1}, {"a": 2})
+        assert record.before == {"a": 1}
+        assert record.after == {"a": 2}
+        assert record.is_data()
+
+    def test_images_are_copies(self):
+        wal = WriteAheadLog()
+        wal.log_begin("T1")
+        values = {"a": 1}
+        record = wal.log_insert("T1", "t", 1, values)
+        values["a"] = 99
+        assert record.after == {"a": 1}
+
+
+class TestStatusTracking:
+    def test_committed_and_aborted_sets(self):
+        wal = WriteAheadLog()
+        wal.log_begin("T1")
+        wal.log_begin("T2")
+        wal.log_begin("T3")
+        wal.log_commit("T1")
+        wal.log_abort("T2")
+        assert wal.committed_transactions() == frozenset({"T1"})
+        assert wal.aborted_transactions() == frozenset({"T2"})
+        assert wal.active_transactions() == frozenset({"T3"})
+
+    def test_records_of_filters_by_txn(self):
+        wal = WriteAheadLog()
+        wal.log_begin("T1")
+        wal.log_begin("T2")
+        wal.log_insert("T1", "t", 1, {"a": 1})
+        wal.log_insert("T2", "t", 2, {"a": 2})
+        assert [r.rid for r in wal.records_of("T1") if r.is_data()] == [1]
+
+    def test_checkpoint_records_active_set(self):
+        wal = WriteAheadLog()
+        wal.log_begin("T1")
+        record = wal.log_checkpoint()
+        assert record.type is RecordType.CHECKPOINT
+        assert record.payload["active"] == ("T1",)
+
+    def test_truncate(self):
+        wal = WriteAheadLog()
+        wal.log_begin("T1")
+        wal.truncate()
+        assert len(wal) == 0

@@ -1,0 +1,150 @@
+"""Tests for timelines, aggregation and report rendering."""
+
+import pytest
+
+from repro.metrics.collectors import MetricsCollector, Outcome, TxnTimeline
+from repro.metrics.report import render_records, render_table
+from repro.metrics.stats import summarize
+
+
+class TestTimeline:
+    def test_execution_time_none_until_finished(self):
+        timeline = TxnTimeline("T", arrival=1.0)
+        assert timeline.execution_time is None
+        timeline.on_commit(5.0)
+        assert timeline.execution_time == 4.0
+
+    def test_wait_accumulates(self):
+        timeline = TxnTimeline("T")
+        timeline.on_wait_start(1.0)
+        timeline.on_wait_end(3.0)
+        timeline.on_wait_start(5.0)
+        timeline.on_wait_end(6.0)
+        assert timeline.wait_time == 3.0
+
+    def test_double_wait_start_ignored(self):
+        timeline = TxnTimeline("T")
+        timeline.on_wait_start(1.0)
+        timeline.on_wait_start(2.0)  # ignored
+        timeline.on_wait_end(3.0)
+        assert timeline.wait_time == 2.0
+
+    def test_wait_end_without_start_is_noop(self):
+        timeline = TxnTimeline("T")
+        timeline.on_wait_end(3.0)
+        assert timeline.wait_time == 0.0
+
+    def test_sleep_counted(self):
+        timeline = TxnTimeline("T")
+        timeline.on_sleep_start(1.0)
+        timeline.on_sleep_end(4.0)
+        assert timeline.sleep_time == 3.0
+        assert timeline.sleeps == 1
+
+    def test_commit_closes_open_intervals(self):
+        timeline = TxnTimeline("T")
+        timeline.on_wait_start(1.0)
+        timeline.on_commit(4.0)
+        assert timeline.outcome is Outcome.COMMITTED
+        assert timeline.wait_time == 3.0
+
+    def test_abort_records_reason(self):
+        timeline = TxnTimeline("T")
+        timeline.on_abort(2.0, reason="deadlock")
+        assert timeline.outcome is Outcome.ABORTED
+        assert timeline.abort_reason == "deadlock"
+
+
+class TestCollector:
+    def test_partitions_by_outcome(self):
+        collector = MetricsCollector()
+        collector.arrival("A", 0.0).on_commit(1.0)
+        collector.arrival("B", 0.0).on_abort(1.0)
+        collector.arrival("C", 0.0)
+        assert [t.txn_id for t in collector.committed()] == ["A"]
+        assert [t.txn_id for t in collector.aborted()] == ["B"]
+        assert [t.txn_id for t in collector.unfinished()] == ["C"]
+        assert len(collector) == 3
+
+
+class TestSummarize:
+    def make_collector(self):
+        collector = MetricsCollector()
+        a = collector.arrival("A", 0.0)
+        a.on_commit(2.0)
+        b = collector.arrival("B", 1.0)
+        b.on_wait_start(1.0)
+        b.on_wait_end(3.0)
+        b.on_commit(5.0)
+        c = collector.arrival("C", 2.0)
+        c.on_abort(3.0)
+        return collector
+
+    def test_counts(self):
+        stats = summarize(self.make_collector())
+        assert stats.total == 3
+        assert stats.committed == 2
+        assert stats.aborted == 1
+        assert stats.unfinished == 0
+
+    def test_avg_execution_over_committed_only(self):
+        stats = summarize(self.make_collector())
+        assert stats.avg_execution_time == pytest.approx((2.0 + 4.0) / 2)
+
+    def test_abort_percentage(self):
+        stats = summarize(self.make_collector())
+        assert stats.abort_percentage == pytest.approx(100.0 / 3)
+
+    def test_throughput_uses_makespan(self):
+        stats = summarize(self.make_collector(), makespan=10.0)
+        assert stats.throughput == pytest.approx(0.2)
+
+    def test_makespan_inferred_from_finishes(self):
+        stats = summarize(self.make_collector())
+        assert stats.makespan == 5.0
+
+    def test_empty_collector(self):
+        stats = summarize(MetricsCollector())
+        assert stats.total == 0
+        assert stats.avg_execution_time == 0.0
+        assert stats.abort_percentage == 0.0
+
+    def test_percentiles(self):
+        collector = MetricsCollector()
+        for index in range(10):
+            t = collector.arrival(f"T{index}", 0.0)
+            t.on_commit(float(index + 1))
+        stats = summarize(collector)
+        assert stats.p50_execution_time == 5.0
+        assert stats.p95_execution_time == 10.0
+
+    def test_as_row_keys(self):
+        stats = summarize(self.make_collector())
+        row = stats.as_row()
+        assert "avg_exec_s" in row
+        assert "abort_pct" in row
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["name", "value"],
+                            [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "-+-" in lines[1]
+        assert lines[0].index("value") == lines[2].index("1") or True
+
+    def test_title_included(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[1.23456789]])
+        assert "1.235" in text
+
+    def test_render_records(self):
+        text = render_records([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert "a" in text and "3" in text
+
+    def test_render_records_empty(self):
+        assert render_records([], title="t") == "t"

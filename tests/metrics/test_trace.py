@@ -1,0 +1,86 @@
+"""Tests for the ASCII Gantt renderer."""
+
+from repro.metrics.collectors import MetricsCollector
+from repro.metrics.trace import render_gantt
+
+
+def build_collector():
+    collector = MetricsCollector()
+    runner = collector.arrival("runner", 0.0)
+    runner.on_commit(8.0)
+    waiter = collector.arrival("waiter", 2.0)
+    waiter.on_wait_start(2.0)
+    waiter.on_wait_end(6.0)
+    waiter.on_commit(8.0)
+    sleeper = collector.arrival("sleeper", 0.0)
+    sleeper.on_sleep_start(2.0)
+    sleeper.on_sleep_end(6.0)
+    sleeper.on_abort(7.0, reason="sleep-conflict")
+    return collector
+
+
+class TestRenderGantt:
+    def test_empty_collector(self):
+        assert render_gantt(MetricsCollector()) == "(no transactions)"
+
+    def test_rows_sorted_by_arrival(self):
+        text = render_gantt(build_collector(), width=32)
+        lines = [line for line in text.splitlines() if "  " in line]
+        order = [line.split()[0] for line in lines[2:5]]
+        assert order == ["runner", "sleeper", "waiter"]
+
+    def test_symbols_present(self):
+        text = render_gantt(build_collector(), width=32)
+        assert "w" in text     # the waiter's queueing
+        assert "z" in text     # the sleeper's outage
+        assert "C" in text     # commits
+        assert "X" in text     # the abort
+        assert "=" in text     # running segments
+
+    def test_outcome_suffixes(self):
+        text = render_gantt(build_collector(), width=32)
+        assert "committed" in text
+        assert "aborted (sleep-conflict)" in text
+
+    def test_legend(self):
+        assert "legend" in render_gantt(build_collector())
+
+    def test_not_yet_arrived_is_dotted(self):
+        collector = MetricsCollector()
+        late = collector.arrival("late", 9.0)
+        late.on_commit(10.0)
+        early = collector.arrival("early", 0.0)
+        early.on_commit(1.0)
+        text = render_gantt(collector, width=20)
+        late_line = next(line for line in text.splitlines()
+                         if line.startswith("late"))
+        assert late_line.split()[1].startswith(".")
+
+    def test_width_respected(self):
+        text = render_gantt(build_collector(), width=40)
+        runner_line = next(line for line in text.splitlines()
+                           if line.startswith("runner"))
+        assert len(runner_line.split()[1]) == 40
+
+    def test_until_clips_horizon(self):
+        text = render_gantt(build_collector(), width=10, until=4.0)
+        assert "4.0s" in text.splitlines()[0]
+
+    def test_real_scheduler_run_renders(self):
+        from repro.mobile.network import DisconnectionEvent
+        from repro.mobile.session import SessionPlan
+        from repro.schedulers import GTMScheduler
+        from repro.core.opclass import assign, subtract
+        from repro.workload.spec import Workload, single_step_profile
+        profiles = [
+            single_step_profile(
+                "mobile", 0.0, "X", subtract(1),
+                SessionPlan(2.0, (DisconnectionEvent(0.5, 4.0),))),
+            single_step_profile("admin", 1.0, "X", assign(0),
+                                SessionPlan(1.0)),
+        ]
+        workload = Workload(profiles, initial_values={"X": 10.0})
+        result = GTMScheduler().run(workload)
+        text = render_gantt(result.collector, width=48)
+        assert "mobile" in text
+        assert "admin" in text

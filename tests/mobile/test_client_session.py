@@ -1,0 +1,101 @@
+"""Tests for think-time models and session plans."""
+
+import numpy as np
+import pytest
+
+from repro.mobile.client import ThinkTimeModel
+from repro.mobile.network import BernoulliDisconnection, DisconnectionEvent
+from repro.mobile.session import MobileSession, SessionPlan, build_plan
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestThinkTimeModel:
+    def test_zero_jitter_is_deterministic(self):
+        model = ThinkTimeModel(base_mean=3.0, jitter=0.0)
+        assert model.work_time(rng()) == 3.0
+
+    def test_jitter_varies_times(self):
+        model = ThinkTimeModel(base_mean=3.0, jitter=0.5)
+        generator = rng(1)
+        times = {model.work_time(generator) for _ in range(10)}
+        assert len(times) > 1
+        assert all(t > 0 for t in times)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ThinkTimeModel(base_mean=0)
+        with pytest.raises(ValueError):
+            ThinkTimeModel(jitter=-1)
+        with pytest.raises(ValueError):
+            ThinkTimeModel(idle_threshold=0)
+
+    def test_long_pause_exceeds_threshold(self):
+        model = ThinkTimeModel(idle_threshold=5.0)
+        pause = model.long_pause(rng(2), pause_probability=1.0,
+                                 pause_mean=3.0)
+        assert pause is not None
+        assert pause > 5.0
+
+    def test_long_pause_respects_probability(self):
+        model = ThinkTimeModel()
+        assert model.long_pause(rng(0), pause_probability=0.0,
+                                pause_mean=3.0) is None
+
+
+class TestSessionPlan:
+    def test_disconnects_property(self):
+        assert not SessionPlan(work_time=1.0).disconnects
+        plan = SessionPlan(1.0, (DisconnectionEvent(0.5, 2.0),))
+        assert plan.disconnects
+
+    def test_total_sleep(self):
+        plan = SessionPlan(1.0, (DisconnectionEvent(0.2, 2.0),
+                                 DisconnectionEvent(0.8, 3.0)))
+        assert plan.total_sleep == 5.0
+
+
+class TestMobileSession:
+    def test_no_outage_single_work_phase(self):
+        phases = list(MobileSession(SessionPlan(work_time=4.0)).phases())
+        assert [(p.kind, p.duration) for p in phases] == [("work", 4.0)]
+
+    def test_single_outage_splits_work(self):
+        plan = SessionPlan(10.0, (DisconnectionEvent(0.3, 5.0),))
+        phases = list(MobileSession(plan).phases())
+        assert [p.kind for p in phases] == ["work", "sleep", "work"]
+        assert phases[0].duration == pytest.approx(3.0)
+        assert phases[1].duration == 5.0
+        assert phases[2].duration == pytest.approx(7.0)
+
+    def test_work_durations_sum_to_work_time(self):
+        plan = SessionPlan(10.0, (DisconnectionEvent(0.2, 1.0),
+                                  DisconnectionEvent(0.7, 2.0)))
+        phases = list(MobileSession(plan).phases())
+        work = sum(p.duration for p in phases if p.kind == "work")
+        sleep = sum(p.duration for p in phases if p.kind == "sleep")
+        assert work == pytest.approx(10.0)
+        assert sleep == pytest.approx(3.0)
+
+    def test_outages_sorted_even_if_given_unsorted(self):
+        plan = SessionPlan(10.0, (DisconnectionEvent(0.7, 2.0),
+                                  DisconnectionEvent(0.2, 1.0)))
+        phases = list(MobileSession(plan).phases())
+        sleeps = [p.duration for p in phases if p.kind == "sleep"]
+        assert sleeps == [1.0, 2.0]
+
+    def test_outage_at_zero_fraction_sleeps_first(self):
+        plan = SessionPlan(10.0, (DisconnectionEvent(0.0, 2.0),))
+        phases = list(MobileSession(plan).phases())
+        assert phases[0].kind == "sleep"
+
+
+class TestBuildPlan:
+    def test_combines_think_and_network(self):
+        think = ThinkTimeModel(base_mean=2.0, jitter=0.0)
+        network = BernoulliDisconnection(beta=1.0, fixed_duration=3.0)
+        plan = build_plan(rng(0), think, network)
+        assert plan.work_time == 2.0
+        assert plan.total_sleep == 3.0

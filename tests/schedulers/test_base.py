@@ -1,0 +1,102 @@
+"""Tests for the itinerary builder shared by every scheduler."""
+
+import pytest
+
+from repro.core.opclass import add, subtract
+from repro.mobile.network import DisconnectionEvent
+from repro.mobile.session import SessionPlan
+from repro.schedulers.base import (
+    CommitAction,
+    InvokeAction,
+    SleepAction,
+    WorkAction,
+    build_itinerary,
+)
+from repro.workload.spec import (
+    TransactionProfile,
+    TransactionStep,
+    single_step_profile,
+)
+
+
+def kinds(actions):
+    return [type(a).__name__ for a in actions]
+
+
+class TestSingleStep:
+    def test_plain_profile(self):
+        profile = single_step_profile("T", 0.0, "X", add(1),
+                                      SessionPlan(work_time=4.0))
+        actions = build_itinerary(profile)
+        assert kinds(actions) == ["InvokeAction", "WorkAction",
+                                  "CommitAction"]
+        assert actions[1].duration == 4.0
+
+    def test_single_outage_splits_work(self):
+        plan = SessionPlan(10.0, (DisconnectionEvent(0.4, 3.0),))
+        profile = single_step_profile("T", 0.0, "X", add(1), plan)
+        actions = build_itinerary(profile)
+        assert kinds(actions) == ["InvokeAction", "WorkAction",
+                                  "SleepAction", "WorkAction",
+                                  "CommitAction"]
+        assert actions[1].duration == pytest.approx(4.0)
+        assert actions[2].duration == 3.0
+        assert actions[3].duration == pytest.approx(6.0)
+
+    def test_work_total_preserved_with_outages(self):
+        plan = SessionPlan(8.0, (DisconnectionEvent(0.25, 1.0),
+                                 DisconnectionEvent(0.75, 2.0)))
+        profile = single_step_profile("T", 0.0, "X", add(1), plan)
+        actions = build_itinerary(profile)
+        work = sum(a.duration for a in actions
+                   if isinstance(a, WorkAction))
+        sleep = sum(a.duration for a in actions
+                    if isinstance(a, SleepAction))
+        assert work == pytest.approx(8.0)
+        assert sleep == pytest.approx(3.0)
+
+    def test_ends_with_single_commit(self):
+        profile = single_step_profile("T", 0.0, "X", add(1),
+                                      SessionPlan(1.0))
+        actions = build_itinerary(profile)
+        commits = [a for a in actions if isinstance(a, CommitAction)]
+        assert len(commits) == 1
+        assert isinstance(actions[-1], CommitAction)
+
+
+class TestMultiStep:
+    def make_profile(self, outages=()):
+        return TransactionProfile(
+            "T", 0.0,
+            (TransactionStep("X", subtract(1), 0.5),
+             TransactionStep("Y", subtract(1), 0.5)),
+            SessionPlan(10.0, tuple(outages)))
+
+    def test_steps_invoke_in_order(self):
+        actions = build_itinerary(self.make_profile())
+        invokes = [a.step.object_name for a in actions
+                   if isinstance(a, InvokeAction)]
+        assert invokes == ["X", "Y"]
+
+    def test_work_split_by_fractions(self):
+        actions = build_itinerary(self.make_profile())
+        works = [a.duration for a in actions if isinstance(a, WorkAction)]
+        assert works == [pytest.approx(5.0), pytest.approx(5.0)]
+
+    def test_outage_lands_in_correct_step(self):
+        actions = build_itinerary(self.make_profile(
+            [DisconnectionEvent(0.75, 2.0)]))
+        names = kinds(actions)
+        # X invoke, X work, Y invoke, partial Y work, sleep, rest of Y
+        assert names == ["InvokeAction", "WorkAction", "InvokeAction",
+                         "WorkAction", "SleepAction", "WorkAction",
+                         "CommitAction"]
+
+    def test_outage_on_boundary_lands_in_second_step(self):
+        actions = build_itinerary(self.make_profile(
+            [DisconnectionEvent(0.5, 1.0)]))
+        # the outage at the step boundary attaches to step Y: the sleep
+        # comes right after Y's invoke, before any of Y's work
+        assert kinds(actions) == ["InvokeAction", "WorkAction",
+                                  "InvokeAction", "SleepAction",
+                                  "WorkAction", "CommitAction"]

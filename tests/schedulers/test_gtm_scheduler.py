@@ -1,0 +1,216 @@
+"""Tests for the GTM scheduler (simulated clients over the middleware)."""
+
+import pytest
+
+from repro.core.gtm import GTMConfig
+from repro.core.opclass import add, assign, subtract
+from repro.core.sst import FailureInjector, SSTExecutor
+from repro.core.objects import ObjectBinding
+from repro.ldbs.constraints import NonNegative
+from repro.ldbs.engine import Database
+from repro.ldbs.schema import Column, ColumnType, TableSchema
+from repro.metrics.collectors import Outcome
+from repro.mobile.network import DisconnectionEvent
+from repro.mobile.session import SessionPlan
+from repro.schedulers import GTMScheduler, GTMSchedulerConfig
+from repro.workload.spec import (
+    TransactionProfile,
+    TransactionStep,
+    Workload,
+    single_step_profile,
+)
+
+
+def plan(work=2.0, outages=()):
+    return SessionPlan(work_time=work, outages=tuple(outages))
+
+
+def run_workload(profiles, initial=100.0, config=None):
+    workload = Workload(list(profiles),
+                        initial_values={"X": initial})
+    return GTMScheduler(config or GTMSchedulerConfig()).run(workload)
+
+
+class TestBasicRuns:
+    def test_single_transaction_commits(self):
+        result = run_workload(
+            [single_step_profile("T", 0.0, "X", subtract(1), plan())])
+        assert result.stats.committed == 1
+        assert result.final_values["X"] == 99
+
+    def test_execution_time_is_work_time_when_uncontended(self):
+        result = run_workload(
+            [single_step_profile("T", 0.0, "X", subtract(1), plan(3.0))])
+        timeline = result.collector.timelines["T"]
+        assert timeline.execution_time == pytest.approx(3.0)
+
+    def test_compatible_transactions_overlap(self):
+        profiles = [
+            single_step_profile(f"T{k}", 0.0, "X", subtract(1), plan(4.0))
+            for k in range(5)]
+        result = run_workload(profiles)
+        assert result.stats.committed == 5
+        assert result.final_values["X"] == 95
+        # all five ran concurrently: makespan ~ one work time
+        assert result.stats.makespan < 4.0 + 1.0
+
+    def test_incompatible_transactions_serialize(self):
+        profiles = [
+            single_step_profile("A", 0.0, "X", assign(10), plan(2.0)),
+            single_step_profile("B", 0.1, "X", assign(20), plan(2.0)),
+        ]
+        result = run_workload(profiles)
+        assert result.stats.committed == 2
+        b_timeline = result.collector.timelines["B"]
+        assert b_timeline.wait_time > 0
+        # B arrived second and committed second: its value sticks
+        assert result.final_values["X"] == 20
+
+    def test_reconciliation_makes_sum_correct_under_contention(self):
+        profiles = [
+            single_step_profile(f"T{k}", 0.05 * k, "X", subtract(1),
+                                plan(1.0))
+            for k in range(20)]
+        result = run_workload(profiles, initial=1000.0)
+        assert result.stats.committed == 20
+        assert result.final_values["X"] == 980
+
+
+class TestDisconnections:
+    def test_sleeper_resumes_and_commits(self):
+        outage = DisconnectionEvent(0.5, 4.0)
+        result = run_workload(
+            [single_step_profile("T", 0.0, "X", subtract(1),
+                                 plan(2.0, [outage]))])
+        timeline = result.collector.timelines["T"]
+        assert timeline.outcome is Outcome.COMMITTED
+        assert timeline.sleep_time == pytest.approx(4.0)
+        assert timeline.execution_time == pytest.approx(6.0)
+
+    def test_conflicting_commit_during_sleep_aborts_sleeper(self):
+        profiles = [
+            single_step_profile(
+                "sleeper", 0.0, "X", subtract(1),
+                plan(2.0, [DisconnectionEvent(0.5, 10.0)])),
+            # admin arrives during the outage and commits an assignment
+            single_step_profile("admin", 2.0, "X", assign(0), plan(1.0)),
+        ]
+        result = run_workload(profiles)
+        sleeper = result.collector.timelines["sleeper"]
+        admin = result.collector.timelines["admin"]
+        assert admin.outcome is Outcome.COMMITTED
+        assert sleeper.outcome is Outcome.ABORTED
+        assert sleeper.abort_reason == "sleep-conflict"
+
+    def test_compatible_traffic_during_sleep_is_harmless(self):
+        profiles = [
+            single_step_profile(
+                "sleeper", 0.0, "X", subtract(1),
+                plan(2.0, [DisconnectionEvent(0.5, 10.0)])),
+            single_step_profile("buyer", 2.0, "X", subtract(1),
+                                plan(1.0)),
+        ]
+        result = run_workload(profiles)
+        assert result.stats.committed == 2
+        assert result.final_values["X"] == 98
+
+
+class TestWaitTimeout:
+    def test_waiter_aborts_after_timeout(self):
+        config = GTMSchedulerConfig(wait_timeout=1.0)
+        profiles = [
+            single_step_profile("holder", 0.0, "X", assign(1),
+                                plan(10.0)),
+            single_step_profile("waiter", 0.5, "X", assign(2), plan(1.0)),
+        ]
+        result = run_workload(profiles, config=config)
+        waiter = result.collector.timelines["waiter"]
+        assert waiter.outcome is Outcome.ABORTED
+        assert waiter.abort_reason == "wait-timeout"
+
+
+class TestMultiStep:
+    def test_two_object_transaction(self):
+        profile = TransactionProfile(
+            "T", 0.0,
+            (TransactionStep("X", subtract(1), 0.5),
+             TransactionStep("Y", subtract(2), 0.5)),
+            plan(2.0))
+        workload = Workload([profile],
+                            initial_values={"X": 10.0, "Y": 10.0})
+        result = GTMScheduler().run(workload)
+        assert result.stats.committed == 1
+        assert result.final_values["X"] == 9
+        assert result.final_values["Y"] == 8
+
+
+class TestSSTIntegration:
+    def make_database(self, stock=10):
+        db = Database()
+        db.create_table(
+            TableSchema("flight",
+                        (Column("id", ColumnType.INT),
+                         Column("free", ColumnType.INT)),
+                        primary_key="id"),
+            constraints=[NonNegative("flight", "free")])
+        db.seed("flight", [{"id": 1, "free": stock}])
+        return db
+
+    def test_commits_apply_through_sst(self):
+        db = self.make_database(10)
+        config = GTMSchedulerConfig(
+            sst_executor=SSTExecutor(db),
+            bindings={"X": ObjectBinding.cell("flight", 1, "free")})
+        result = run_workload(
+            [single_step_profile("T", 0.0, "X", subtract(1), plan())],
+            initial=10.0, config=config)
+        assert result.stats.committed == 1
+        assert db.catalog.table("flight").get_by_key(1)["free"] == 9
+
+    def test_sst_failure_recorded_as_abort(self):
+        db = self.make_database(10)
+        executor = SSTExecutor(
+            db, max_retries=0,
+            injector=FailureInjector(should_fail=lambda t, a: True))
+        config = GTMSchedulerConfig(
+            sst_executor=executor,
+            bindings={"X": ObjectBinding.cell("flight", 1, "free")})
+        result = run_workload(
+            [single_step_profile("T", 0.0, "X", subtract(1), plan())],
+            initial=10.0, config=config)
+        assert result.stats.aborted == 1
+        assert db.catalog.table("flight").get_by_key(1)["free"] == 10
+
+
+class TestSerializability:
+    def test_emulated_run_is_serializable(self):
+        """The full emulation's committed schedule must pass the serial
+        replay check (paper Section V's serializability claim)."""
+        from repro.core.history import check_serializable
+        from repro.workload.generator import (
+            PaperWorkloadConfig,
+            generate_paper_workload,
+        )
+        generated = generate_paper_workload(PaperWorkloadConfig(
+            n_transactions=250, alpha=0.7, beta=0.1, seed=31))
+        scheduler = GTMScheduler()
+        scheduler.run(generated.workload)
+        report = check_serializable(scheduler.last_gtm)
+        assert report.serializable, report.mismatches
+        assert report.committed > 200
+
+
+class TestDeterminism:
+    def test_same_workload_same_results(self):
+        profiles = [
+            single_step_profile(f"T{k}", 0.3 * k, "X",
+                                subtract(1) if k % 3 else assign(k),
+                                plan(1.5))
+            for k in range(12)]
+        workload = Workload(list(profiles), initial_values={"X": 100.0})
+        first = GTMScheduler().run(workload)
+        second = GTMScheduler().run(workload)
+        assert first.final_values == second.final_values
+        assert first.stats.avg_execution_time == \
+            second.stats.avg_execution_time
+        assert first.stats.committed == second.stats.committed

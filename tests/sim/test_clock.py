@@ -1,0 +1,45 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.sim.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_advance_forward(self):
+        clock = VirtualClock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = VirtualClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_backwards_raises(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(9.999)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance_to(100.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_reset_to_custom_value(self):
+        clock = VirtualClock()
+        clock.advance_to(100.0)
+        clock.reset(50.0)
+        assert clock.now == 50.0
+
+    def test_repr_mentions_time(self):
+        clock = VirtualClock(1.25)
+        assert "1.25" in repr(clock)

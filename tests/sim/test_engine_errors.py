@@ -1,0 +1,63 @@
+"""Error-path tests for the simulation engine and error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    ReproError,
+    SimulationError,
+    SSTFailure,
+    TransactionAborted,
+)
+from repro.sim.engine import SimulationEngine
+
+
+class TestEngineErrorPaths:
+    def test_reentrant_run_rejected(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def reenter(e):
+            try:
+                e.run()
+            except SimulationError as exc:
+                seen.append(str(exc))
+
+        engine.schedule_at(1.0, reenter)
+        engine.run()
+        assert seen and "re-entrant" in seen[0]
+
+    def test_engine_usable_after_callback_exception(self):
+        engine = SimulationEngine()
+
+        def boom(e):
+            raise ValueError("callback failed")
+
+        engine.schedule_at(1.0, boom)
+        engine.schedule_at(2.0, lambda e: None)
+        with pytest.raises(ValueError):
+            engine.run()
+        # the _running flag was released by the finally block
+        assert engine.run() == 2.0
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for error in (SimulationError("x"), DeadlockError("T1"),
+                      TransactionAborted("T1"), SSTFailure("T1")):
+            assert isinstance(error, ReproError)
+
+    def test_deadlock_error_formats_cycle(self):
+        error = DeadlockError("B", cycle=("A", "B"))
+        assert error.victim == "B"
+        assert "A -> B" in str(error)
+
+    def test_transaction_aborted_carries_reason(self):
+        error = TransactionAborted("T1", reason="timeout")
+        assert error.txn_id == "T1"
+        assert "timeout" in str(error)
+
+    def test_sst_failure_carries_reason(self):
+        error = SSTFailure("T1", "constraint")
+        assert "constraint" in str(error)
+        assert error.txn_id == "T1"

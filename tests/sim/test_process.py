@@ -1,0 +1,226 @@
+"""Tests for generator-based simulation processes."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim.engine import SimulationEngine
+from repro.sim.process import Process, Signal, Timeout, WaitEvent
+
+
+class TestTimeout:
+    def test_timeout_suspends_for_duration(self):
+        engine = SimulationEngine()
+        trace = []
+
+        def body():
+            trace.append(engine.now)
+            yield Timeout(2.5)
+            trace.append(engine.now)
+
+        Process(engine, body())
+        engine.run()
+        assert trace == [0.0, 2.5]
+
+    def test_start_delay(self):
+        engine = SimulationEngine()
+        trace = []
+
+        def body():
+            trace.append(engine.now)
+            yield Timeout(1.0)
+
+        Process(engine, body(), start_delay=3.0)
+        engine.run()
+        assert trace == [3.0]
+
+    def test_negative_timeout_raises(self):
+        with pytest.raises(ProcessError):
+            Timeout(-0.5)
+
+    def test_sequential_timeouts_accumulate(self):
+        engine = SimulationEngine()
+        trace = []
+
+        def body():
+            for _ in range(3):
+                yield Timeout(1.0)
+                trace.append(engine.now)
+
+        Process(engine, body())
+        engine.run()
+        assert trace == [1.0, 2.0, 3.0]
+
+
+class TestSignals:
+    def test_signal_wakes_waiter_with_payload(self):
+        engine = SimulationEngine()
+        signal = Signal("s")
+        got = []
+
+        def waiter():
+            payload = yield WaitEvent(signal)
+            got.append(payload)
+
+        def firer():
+            yield Timeout(1.0)
+            signal.fire("hello")
+
+        Process(engine, waiter())
+        Process(engine, firer())
+        engine.run()
+        assert got == ["hello"]
+
+    def test_signal_broadcasts_to_all_waiters(self):
+        engine = SimulationEngine()
+        signal = Signal()
+        got = []
+
+        def waiter(name):
+            payload = yield WaitEvent(signal)
+            got.append((name, payload))
+
+        for name in ("a", "b", "c"):
+            Process(engine, waiter(name))
+        engine.schedule_at(1.0, lambda e: signal.fire(42))
+        engine.run()
+        assert sorted(got) == [("a", 42), ("b", 42), ("c", 42)]
+
+    def test_fire_with_no_waiters_returns_zero(self):
+        assert Signal().fire() == 0
+
+    def test_fire_count_and_last_payload(self):
+        signal = Signal()
+        signal.fire("x")
+        signal.fire("y")
+        assert signal.fire_count == 2
+        assert signal.last_payload == "y"
+
+    def test_wait_timeout_returns_sentinel(self):
+        engine = SimulationEngine()
+        signal = Signal()
+        got = []
+
+        def waiter():
+            payload = yield WaitEvent(signal, timeout=2.0)
+            got.append((payload, engine.now))
+
+        Process(engine, waiter())
+        engine.run()
+        assert got == [(WaitEvent.TIMED_OUT, 2.0)]
+
+    def test_signal_beats_timeout(self):
+        engine = SimulationEngine()
+        signal = Signal()
+        got = []
+
+        def waiter():
+            payload = yield WaitEvent(signal, timeout=5.0)
+            got.append((payload, engine.now))
+
+        Process(engine, waiter())
+        engine.schedule_at(1.0, lambda e: signal.fire("fast"))
+        engine.run()
+        assert got == [("fast", 1.0)]
+        # the timeout timer must not fire later
+        assert engine.now == 1.0
+
+    def test_waiter_count_tracks_registrations(self):
+        engine = SimulationEngine()
+        signal = Signal()
+
+        def waiter():
+            yield WaitEvent(signal)
+
+        Process(engine, waiter())
+        engine.run()  # drains: process now parked on signal
+        assert signal.waiter_count == 1
+        signal.fire()
+        assert signal.waiter_count == 0
+
+
+class TestProcessLifecycle:
+    def test_result_captured_from_return(self):
+        engine = SimulationEngine()
+
+        def body():
+            yield Timeout(1.0)
+            return "done"
+
+        process = Process(engine, body())
+        engine.run()
+        assert process.finished
+        assert process.result == "done"
+
+    def test_done_signal_fires_on_finish(self):
+        engine = SimulationEngine()
+        got = []
+
+        def short():
+            yield Timeout(1.0)
+            return 99
+
+        def joiner(target):
+            result = yield target
+            got.append(result)
+
+        target = Process(engine, short())
+        Process(engine, joiner(target))
+        engine.run()
+        assert got == [99]
+
+    def test_join_already_finished_process(self):
+        engine = SimulationEngine()
+        got = []
+
+        def short():
+            return 7
+            yield  # pragma: no cover
+
+        def joiner(target):
+            result = yield target
+            got.append((result, engine.now))
+
+        target = Process(engine, short())
+        Process(engine, joiner(target), start_delay=5.0)
+        engine.run()
+        assert got == [(7, 5.0)]
+
+    def test_unknown_command_raises_and_finishes(self):
+        engine = SimulationEngine()
+
+        def body():
+            yield "not a command"
+
+        process = Process(engine, body())
+        with pytest.raises(ProcessError):
+            engine.run()
+        assert process.finished
+        assert isinstance(process.error, ProcessError)
+
+    def test_exception_in_body_propagates(self):
+        engine = SimulationEngine()
+
+        def body():
+            yield Timeout(1.0)
+            raise ValueError("boom")
+
+        process = Process(engine, body())
+        with pytest.raises(ValueError):
+            engine.run()
+        assert process.finished
+        assert isinstance(process.error, ValueError)
+
+    def test_many_processes_interleave_deterministically(self):
+        engine = SimulationEngine()
+        trace = []
+
+        def body(name, delay):
+            for _ in range(2):
+                yield Timeout(delay)
+                trace.append((name, engine.now))
+
+        Process(engine, body("slow", 2.0))
+        Process(engine, body("fast", 1.5))
+        engine.run()
+        assert trace == [("fast", 1.5), ("slow", 2.0), ("fast", 3.0),
+                         ("slow", 4.0)]

@@ -1,0 +1,51 @@
+"""Tests for deterministic named random streams."""
+
+import numpy as np
+
+from repro.sim.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_name_same_sequence(self):
+        a = RandomStreams(123).stream("arrivals")
+        b = RandomStreams(123).stream("arrivals")
+        assert np.allclose(a.random(10), b.random(10))
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(123)
+        a = streams.stream("arrivals").random(10)
+        b = streams.stream("disconnects").random(10)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random(10)
+        b = RandomStreams(2).stream("x").random(10)
+        assert not np.allclose(a, b)
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_creation_order_does_not_matter(self):
+        forward = RandomStreams(42)
+        fa = forward.stream("a").random(5)
+        fb = forward.stream("b").random(5)
+        backward = RandomStreams(42)
+        bb = backward.stream("b").random(5)
+        ba = backward.stream("a").random(5)
+        assert np.allclose(fa, ba)
+        assert np.allclose(fb, bb)
+
+    def test_spawn_is_deterministic(self):
+        a = RandomStreams(9).spawn("rep1").stream("x").random(5)
+        b = RandomStreams(9).spawn("rep1").stream("x").random(5)
+        assert np.allclose(a, b)
+
+    def test_spawn_differs_from_parent(self):
+        parent = RandomStreams(9)
+        child = parent.spawn("rep1")
+        assert not np.allclose(parent.stream("x").random(5),
+                               child.stream("x").random(5))
+
+    def test_seed_property(self):
+        assert RandomStreams(77).seed == 77

@@ -1,0 +1,32 @@
+"""Tests for the run_all convenience helper."""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.process import Timeout, run_all
+
+
+class TestRunAll:
+    def test_runs_every_process_to_completion(self):
+        engine = SimulationEngine()
+        results = []
+
+        def worker(name, delay):
+            yield Timeout(delay)
+            results.append(name)
+            return name
+
+        processes = run_all(engine, [worker("a", 2.0), worker("b", 1.0)])
+        assert sorted(results) == ["a", "b"]
+        assert all(p.finished for p in processes)
+        assert {p.result for p in processes} == {"a", "b"}
+
+    def test_until_bound_leaves_processes_running(self):
+        engine = SimulationEngine()
+
+        def slow():
+            yield Timeout(100.0)
+            return "done"
+
+        (process,) = run_all(engine, [slow()], until=1.0)
+        assert not process.finished
+        engine.run()
+        assert process.finished

@@ -1,0 +1,189 @@
+"""Tests for the paper's Section VI-B workload generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.core.opclass import OperationClass
+from repro.workload.generator import (
+    KIND_ASSIGNMENT,
+    KIND_SUBTRACTION,
+    KIND_SUBTRACTION_DISCONNECTED,
+    PaperWorkloadConfig,
+    class_layout,
+    generate_paper_workload,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_match_paper(self):
+        config = PaperWorkloadConfig()
+        assert config.n_transactions == 1000
+        assert config.n_objects == 5
+        assert config.interarrival == 0.5
+
+    def test_alpha_beta_ranges(self):
+        with pytest.raises(WorkloadError):
+            PaperWorkloadConfig(alpha=1.1)
+        with pytest.raises(WorkloadError):
+            PaperWorkloadConfig(beta=-0.1)
+
+    def test_gamma_length_checked(self):
+        with pytest.raises(WorkloadError):
+            PaperWorkloadConfig(gamma=(0.5, 0.5))
+
+    def test_gamma_sum_checked(self):
+        with pytest.raises(WorkloadError):
+            PaperWorkloadConfig(gamma=(0.2,) * 4 + (0.1,))
+
+    def test_gamma_vector_uniform_default(self):
+        vector = PaperWorkloadConfig().gamma_vector()
+        assert len(vector) == 5
+        assert all(abs(g - 0.2) < 1e-12 for g in vector)
+
+
+class TestClassLayout:
+    def test_fifteen_classes(self):
+        """The paper's 15 classes: 5 objects x 3 kinds."""
+        classes = class_layout(PaperWorkloadConfig())
+        assert len(classes) == 15
+        kinds = {(c.object_name, c.kind) for c in classes}
+        assert len(kinds) == 15
+
+    def test_eta_flags_disconnected_classes(self):
+        classes = class_layout(PaperWorkloadConfig())
+        for cls in classes:
+            assert cls.disconnects == \
+                (cls.kind == KIND_SUBTRACTION_DISCONNECTED)
+
+
+class TestGeneration:
+    def test_counts_and_arrivals(self):
+        generated = generate_paper_workload(
+            PaperWorkloadConfig(n_transactions=100))
+        assert len(generated.workload) == 100
+        arrivals = [p.arrival_time for p in generated.workload]
+        assert arrivals[0] == 0.0
+        assert arrivals[1] == 0.5
+        assert arrivals[-1] == pytest.approx(49.5)
+
+    def test_census_sums_to_n(self):
+        generated = generate_paper_workload(
+            PaperWorkloadConfig(n_transactions=200))
+        assert sum(generated.census.values()) == 200
+
+    def test_deterministic_for_same_seed(self):
+        config = PaperWorkloadConfig(n_transactions=50, seed=9)
+        first = generate_paper_workload(config)
+        second = generate_paper_workload(config)
+        for a, b in zip(first.workload, second.workload):
+            assert a.txn_id == b.txn_id
+            assert a.kind == b.kind
+            assert a.steps[0].object_name == b.steps[0].object_name
+            assert a.plan.work_time == b.plan.work_time
+
+    def test_different_seed_differs(self):
+        base = PaperWorkloadConfig(n_transactions=100, seed=1)
+        other = PaperWorkloadConfig(n_transactions=100, seed=2)
+        kinds_a = [p.kind for p in generate_paper_workload(base).workload]
+        kinds_b = [p.kind for p in generate_paper_workload(other).workload]
+        assert kinds_a != kinds_b
+
+    def test_alpha_controls_subtraction_share(self):
+        config = PaperWorkloadConfig(n_transactions=1000, alpha=0.7,
+                                     seed=3)
+        generated = generate_paper_workload(config)
+        subtractions = sum(
+            1 for p in generated.workload
+            if p.kind in (KIND_SUBTRACTION, KIND_SUBTRACTION_DISCONNECTED))
+        assert 0.65 < subtractions / 1000 < 0.75
+
+    def test_alpha_one_all_subtractions(self):
+        generated = generate_paper_workload(
+            PaperWorkloadConfig(n_transactions=100, alpha=1.0))
+        assert all(p.kind != KIND_ASSIGNMENT for p in generated.workload)
+
+    def test_beta_controls_disconnections(self):
+        config = PaperWorkloadConfig(n_transactions=1000, alpha=1.0,
+                                     beta=0.2, seed=5)
+        generated = generate_paper_workload(config)
+        disconnected = sum(p.disconnects for p in generated.workload)
+        assert 0.15 < disconnected / 1000 < 0.25
+
+    def test_assignments_never_disconnect(self):
+        config = PaperWorkloadConfig(n_transactions=500, alpha=0.3,
+                                     beta=1.0, seed=6)
+        generated = generate_paper_workload(config)
+        for profile in generated.workload:
+            if profile.kind == KIND_ASSIGNMENT:
+                assert not profile.disconnects
+
+    def test_operation_classes(self):
+        generated = generate_paper_workload(
+            PaperWorkloadConfig(n_transactions=100, seed=7))
+        for profile in generated.workload:
+            op = profile.steps[0].invocation
+            if profile.kind == KIND_ASSIGNMENT:
+                assert op.op_class is OperationClass.UPDATE_ASSIGN
+            else:
+                assert op.op_class is OperationClass.UPDATE_ADDSUB
+                assert op.operand == -1   # X_q = X_q - 1
+
+    def test_gamma_skews_object_choice(self):
+        config = PaperWorkloadConfig(
+            n_transactions=1000, seed=8,
+            gamma=(0.9, 0.025, 0.025, 0.025, 0.025))
+        generated = generate_paper_workload(config)
+        on_first = sum(1 for p in generated.workload
+                       if p.steps[0].object_name == "X1")
+        assert on_first > 800
+
+    def test_initial_values_cover_all_objects(self):
+        generated = generate_paper_workload(
+            PaperWorkloadConfig(n_transactions=10))
+        assert set(generated.workload.initial_values) == \
+            {"X1", "X2", "X3", "X4", "X5"}
+
+    def test_inactivity_pauses_add_sleep_source(self):
+        config = PaperWorkloadConfig(
+            n_transactions=300, alpha=1.0, beta=0.0,
+            inactivity_probability=0.5, seed=21)
+        generated = generate_paper_workload(config)
+        paused = sum(p.disconnects for p in generated.workload)
+        assert 100 < paused < 200  # ~50% of subtraction transactions
+
+    def test_inactivity_pauses_exceed_idle_threshold(self):
+        config = PaperWorkloadConfig(
+            n_transactions=100, alpha=1.0, beta=0.0,
+            inactivity_probability=1.0, seed=22)
+        generated = generate_paper_workload(config)
+        think_threshold = 5.0  # ThinkTimeModel default idle_threshold
+        for profile in generated.workload:
+            for outage in profile.plan.outages:
+                assert outage.duration > think_threshold
+
+    def test_inactivity_and_disconnection_can_combine(self):
+        config = PaperWorkloadConfig(
+            n_transactions=200, alpha=1.0, beta=1.0,
+            inactivity_probability=1.0, seed=23)
+        generated = generate_paper_workload(config)
+        assert any(len(p.plan.outages) == 2 for p in generated.workload)
+
+    def test_assignments_never_pause(self):
+        config = PaperWorkloadConfig(
+            n_transactions=200, alpha=0.0, beta=0.0,
+            inactivity_probability=1.0, seed=24)
+        generated = generate_paper_workload(config)
+        assert all(not p.disconnects for p in generated.workload)
+
+    def test_inactivity_probability_validated(self):
+        with pytest.raises(WorkloadError):
+            PaperWorkloadConfig(inactivity_probability=1.5)
+
+    def test_fixed_disconnect_duration_respected(self):
+        config = PaperWorkloadConfig(
+            n_transactions=300, alpha=1.0, beta=1.0,
+            disconnect_duration_fixed=5.0, seed=11)
+        generated = generate_paper_workload(config)
+        for profile in generated.workload:
+            for outage in profile.plan.outages:
+                assert outage.duration == 5.0

@@ -1,0 +1,119 @@
+"""Tests for workload JSON round-tripping."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WorkloadError
+from repro.core.opclass import (
+    Invocation,
+    OperationClass,
+    add,
+    assign,
+    subtract,
+)
+from repro.mobile.network import DisconnectionEvent
+from repro.mobile.session import SessionPlan
+from repro.workload.generator import (
+    PaperWorkloadConfig,
+    generate_paper_workload,
+)
+from repro.workload.io import (
+    invocation_from_dict,
+    invocation_to_dict,
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.workload.spec import Workload, single_step_profile
+
+
+class TestInvocationRoundTrip:
+    @given(st.sampled_from([add(1), subtract(3), assign(100),
+                            add(2, member="price")]))
+    def test_round_trip(self, invocation):
+        assert invocation_from_dict(
+            invocation_to_dict(invocation)) == invocation
+
+    def test_bad_class_rejected(self):
+        with pytest.raises(WorkloadError):
+            invocation_from_dict({"op_class": "teleport", "operand": 1})
+
+    def test_insert_with_mapping_operand(self):
+        invocation = Invocation(OperationClass.INSERT,
+                                operand={"value": 5})
+        restored = invocation_from_dict(invocation_to_dict(invocation))
+        assert restored.operand == {"value": 5}
+
+
+def sample_workload() -> Workload:
+    profiles = [
+        single_step_profile(
+            "A", 0.0, "X", subtract(1),
+            SessionPlan(2.0, (DisconnectionEvent(0.5, 5.0),)),
+            kind="subtraction-disconnected", class_id=1),
+        single_step_profile("B", 0.5, "Y", assign(100),
+                            SessionPlan(1.0), kind="assignment",
+                            class_id=2),
+    ]
+    return Workload(profiles, initial_values={"X": 10.0, "Y": 20.0},
+                    description="sample")
+
+
+class TestWorkloadRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        original = sample_workload()
+        restored = workload_from_dict(workload_to_dict(original))
+        assert restored.description == original.description
+        assert restored.initial_values == original.initial_values
+        assert len(restored) == len(original)
+        for a, b in zip(original, restored):
+            assert a.txn_id == b.txn_id
+            assert a.arrival_time == b.arrival_time
+            assert a.kind == b.kind
+            assert a.class_id == b.class_id
+            assert a.steps == b.steps
+            assert a.plan.work_time == b.plan.work_time
+            assert a.plan.outages == b.plan.outages
+
+    def test_file_round_trip(self, tmp_path):
+        original = sample_workload()
+        path = save_workload(original, tmp_path / "w.json")
+        restored = load_workload(path)
+        assert [p.txn_id for p in restored] == ["A", "B"]
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = save_workload(sample_workload(), tmp_path / "w.json")
+        data = json.loads(path.read_text())
+        assert data["format"] == 1
+
+    def test_unknown_format_rejected(self):
+        data = workload_to_dict(sample_workload())
+        data["format"] = 99
+        with pytest.raises(WorkloadError):
+            workload_from_dict(data)
+
+    def test_generated_workload_round_trips(self, tmp_path):
+        generated = generate_paper_workload(PaperWorkloadConfig(
+            n_transactions=50, seed=13))
+        path = save_workload(generated.workload, tmp_path / "paper.json")
+        restored = load_workload(path)
+        assert len(restored) == 50
+        for a, b in zip(generated.workload, restored):
+            assert a.steps == b.steps
+            assert a.plan == b.plan
+
+    def test_replay_produces_identical_results(self, tmp_path):
+        """The archived workload replays bit-identically."""
+        from repro.schedulers import GTMScheduler
+        generated = generate_paper_workload(PaperWorkloadConfig(
+            n_transactions=80, beta=0.1, seed=17))
+        path = save_workload(generated.workload, tmp_path / "w.json")
+        original = GTMScheduler().run(generated.workload)
+        replayed = GTMScheduler().run(load_workload(path))
+        assert original.final_values == replayed.final_values
+        assert original.stats.avg_execution_time == \
+            replayed.stats.avg_execution_time
+        assert original.stats.aborted == replayed.stats.aborted

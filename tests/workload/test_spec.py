@@ -1,0 +1,83 @@
+"""Tests for workload specifications."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.core.opclass import add, subtract
+from repro.mobile.session import SessionPlan
+from repro.workload.spec import (
+    TransactionProfile,
+    TransactionStep,
+    Workload,
+    single_step_profile,
+)
+
+
+def plan():
+    return SessionPlan(work_time=1.0)
+
+
+class TestTransactionProfile:
+    def test_requires_steps(self):
+        with pytest.raises(WorkloadError):
+            TransactionProfile("T", 0.0, (), plan())
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            TransactionProfile(
+                "T", 0.0,
+                (TransactionStep("X", add(1), 0.5),
+                 TransactionStep("Y", add(1), 0.3)),
+                plan())
+
+    def test_objects_deduplicated_in_order(self):
+        profile = TransactionProfile(
+            "T", 0.0,
+            (TransactionStep("X", add(1), 0.4),
+             TransactionStep("Y", add(1), 0.4),
+             TransactionStep("X", add(1), 0.2)),
+            plan())
+        assert profile.objects == ("X", "Y")
+
+    def test_single_step_helper(self):
+        profile = single_step_profile("T", 1.0, "X", subtract(1), plan(),
+                                      kind="subtraction", class_id=3)
+        assert profile.steps[0].work_fraction == 1.0
+        assert profile.kind == "subtraction"
+        assert profile.class_id == 3
+
+    def test_disconnects_tracks_plan(self):
+        from repro.mobile.network import DisconnectionEvent
+        quiet = single_step_profile("T", 0.0, "X", add(1), plan())
+        assert not quiet.disconnects
+        noisy = single_step_profile(
+            "U", 0.0, "X", add(1),
+            SessionPlan(1.0, (DisconnectionEvent(0.5, 1.0),)))
+        assert noisy.disconnects
+
+
+class TestWorkload:
+    def test_profiles_sorted_by_arrival(self):
+        profiles = [
+            single_step_profile("late", 5.0, "X", add(1), plan()),
+            single_step_profile("early", 1.0, "X", add(1), plan()),
+        ]
+        workload = Workload(profiles, initial_values={"X": 0.0})
+        assert [p.txn_id for p in workload] == ["early", "late"]
+
+    def test_missing_initial_values_rejected(self):
+        profiles = [single_step_profile("T", 0.0, "X", add(1), plan())]
+        with pytest.raises(WorkloadError):
+            Workload(profiles, initial_values={})
+
+    def test_len_and_span(self):
+        profiles = [
+            single_step_profile("a", 1.0, "X", add(1), plan()),
+            single_step_profile("b", 4.0, "X", add(1), plan()),
+        ]
+        workload = Workload(profiles, initial_values={"X": 0.0})
+        assert len(workload) == 2
+        assert workload.arrival_span() == 3.0
+
+    def test_empty_workload_span_zero(self):
+        assert Workload([], initial_values={}).arrival_span() == 0.0
