@@ -12,7 +12,18 @@ al. (ICDE 2008):
   Waiting, Sleeping, Committing, Aborting, Committed, Aborted);
 - :mod:`repro.core.transaction` / :mod:`repro.core.objects` — the global
   transaction state and object bookkeeping sets of Section IV;
-- :mod:`repro.core.gtm` — Algorithms 1-11, the event-driven controller;
+- :mod:`repro.core.gtm` — Algorithms 1-11, the facade over the
+  subsystems below;
+- :mod:`repro.core.admission` — the lock table and semantic-lock
+  admission controller (Algorithms 2, 5 and 11);
+- :mod:`repro.core.commit_pipeline` — reconciliation, staging and SST
+  dispatch (Algorithms 3 and 4);
+- :mod:`repro.core.sleep_manager` — the sleeping-transaction protocol
+  (Algorithms 7-10);
+- :mod:`repro.core.policies` — pluggable deadlock policing (wait-for
+  graph, wound-wait, wait-die, none);
+- :mod:`repro.core.events` — the ⟨...⟩ event vocabulary, the observer
+  contract and the fan-out :class:`~repro.core.events.EventBus`;
 - :mod:`repro.core.sst` — Secure System Transactions applying reconciled
   values to the LDBS, with failure injection and retry;
 - :mod:`repro.core.starvation` — the Section VII starvation mitigations
@@ -21,12 +32,20 @@ al. (ICDE 2008):
   concurrent compatible transactions.
 """
 
+from repro.core.admission import (
+    AdmissionController,
+    GrantOutcome,
+    LockTable,
+)
+from repro.core.commit_pipeline import CommitPipeline
+
 from repro.core.compatibility import (
     CompatibilityMatrix,
     DEFAULT_MATRIX,
     LogicalDependence,
 )
-from repro.core.gtm import GlobalTransactionManager, GTMConfig, GTMObserver
+from repro.core.events import EventBus, GTMObserver, ObserverError
+from repro.core.gtm import GlobalTransactionManager, GTMConfig
 from repro.core.history import (
     OperationLog,
     SerializabilityReport,
@@ -48,31 +67,50 @@ from repro.core.starvation import (
     LockDenyPolicy,
     PriorityAgingPolicy,
 )
+from repro.core.policies import (
+    DeadlockPolicy,
+    NoDeadlockPolicy,
+    WaitDiePolicy,
+    WaitForGraphPolicy,
+    WoundWaitPolicy,
+    build_deadlock_policy,
+)
+from repro.core.sleep_manager import SleepManager
 from repro.core.states import TransactionState
 from repro.core.throttle import ValueThrottle
 from repro.core.transaction import GTMTransaction
 
 __all__ = [
     "AdditiveReconciler",
+    "AdmissionController",
+    "CommitPipeline",
     "CompatibilityMatrix",
     "DEFAULT_MATRIX",
+    "DeadlockPolicy",
+    "EventBus",
     "FifoGrantPolicy",
     "GTMConfig",
     "GTMObserver",
     "GTMTransaction",
     "GlobalTransactionManager",
+    "GrantOutcome",
     "GrantPolicy",
     "Invocation",
     "LockDenyPolicy",
+    "LockTable",
     "LogicalDependence",
     "ManagedObject",
     "MultiplicativeReconciler",
+    "NoDeadlockPolicy",
     "ObjectBinding",
+    "ObserverError",
     "OperationClass",
     "OperationLog",
     "SerializabilityReport",
+    "SleepManager",
     "check_serializable",
     "serial_replay",
+    "build_deadlock_policy",
     "PriorityAgingPolicy",
     "Reconciler",
     "ReconcilerRegistry",
@@ -80,4 +118,7 @@ __all__ = [
     "SSTReport",
     "TransactionState",
     "ValueThrottle",
+    "WaitDiePolicy",
+    "WaitForGraphPolicy",
+    "WoundWaitPolicy",
 ]

@@ -1,0 +1,329 @@
+"""Semantic-lock admission: Algorithms 2 and 11 over the Table I matrix.
+
+This layer owns everything that decides *who may operate*: the managed
+object registry (:class:`LockTable`), the conflict test against the
+effective lock set ``(pending − sleeping) ∪ committing``, the grant
+postcondition (snapshots + bookkeeping), the FIFO wait queues, and the
+⟨unlock, X⟩ pump that re-admits waiters.  Deadlock handling is delegated
+to a pluggable :class:`~repro.core.policies.DeadlockPolicy`; starvation
+shaping to the configured :class:`~repro.core.starvation.GrantPolicy`
+and throttle.
+
+The commit pipeline and sleep manager call back into this layer only
+through :meth:`AdmissionController.grant` and
+:meth:`AdmissionController.pump_unlock` — the seams the ROADMAP needs
+for per-shard lock tables later.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.errors import GTMError, ProtocolError
+from repro.core.conflicts import ConflictChecker
+from repro.core.events import EventBus
+from repro.core.objects import ManagedObject, WaitEntry
+from repro.core.opclass import Invocation, OperationClass
+from repro.core.policies import DeadlockPolicy
+from repro.core.states import TransactionState
+from repro.core.transaction import GTMTransaction
+
+_TS = TransactionState
+
+
+class GrantOutcome:
+    """Result of an ⟨op, X, A⟩ invocation."""
+
+    GRANTED = "granted"
+    QUEUED = "queued"
+    #: the request closed a wait-for cycle (or lost a wound-wait /
+    #: wait-die tournament) and this transaction was chosen as the
+    #: victim (it is now Aborted).
+    ABORTED = "aborted-deadlock"
+
+
+class LockTable:
+    """The per-object registry: every ``ManagedObject`` the GTM controls.
+
+    Grant/wait queues live *inside* each :class:`ManagedObject`; the
+    table is the directory that finds them.  Keeping the directory
+    separate from the admission logic is what lets a later PR shard it.
+    """
+
+    def __init__(self) -> None:
+        #: name -> object; exposed as ``gtm.objects`` for compatibility.
+        self.objects: dict[str, ManagedObject] = {}
+
+    def register(self, obj: ManagedObject) -> ManagedObject:
+        if obj.name in self.objects:
+            raise GTMError(f"object {obj.name!r} already registered")
+        self.objects[obj.name] = obj
+        return obj
+
+    def get(self, name: str) -> ManagedObject:
+        try:
+            return self.objects[name]
+        except KeyError:
+            raise GTMError(f"unknown object {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.objects
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def values(self) -> tuple[ManagedObject, ...]:
+        return tuple(self.objects.values())
+
+
+class AdmissionController:
+    """Algorithm 2 (grant-or-wait) and Algorithm 11 (unlock) in one place.
+
+    ``abort_txn`` is injected by the facade: aborting a deadlock victim
+    spans every subsystem, so the controller never reaches into the
+    commit pipeline directly.
+    """
+
+    def __init__(self, lock_table: LockTable, checker: ConflictChecker,
+                 grant_policy: Any, throttle: Any,
+                 deadlock_policy: DeadlockPolicy, bus: EventBus,
+                 transactions: Mapping[str, GTMTransaction],
+                 clock: Callable[[], float],
+                 abort_txn: Callable[[str, str], None]) -> None:
+        self.lock_table = lock_table
+        self.checker = checker
+        self.grant_policy = grant_policy
+        self.throttle = throttle
+        self.deadlock_policy = deadlock_policy
+        self.bus = bus
+        self._transactions = transactions
+        self._clock = clock
+        self._abort_txn = abort_txn
+
+    # ------------------------------------------------------------------
+    # Algorithm 2 — ⟨op, X, A⟩
+    # ------------------------------------------------------------------
+
+    def request(self, txn: GTMTransaction, obj: ManagedObject,
+                invocation: Invocation, now: float) -> str:
+        """Grant the invocation, queue it, or abort a deadlock victim."""
+        self._validate(txn, obj, invocation)
+        if obj.is_pending(txn.txn_id):
+            existing = obj.pending[txn.txn_id].get(invocation.member)
+            if existing == invocation:
+                return GrantOutcome.GRANTED
+
+        blockers = self.conflicting_holders(obj, txn.txn_id, invocation)
+        throttled = not self.throttle.admits(obj, invocation)
+        denied = self.grant_policy.deny_fresh_invocation(
+            obj, invocation, self.checker, now)
+        if not blockers and not throttled and not denied:
+            self.grant(txn, obj, invocation, now)
+            return GrantOutcome.GRANTED
+
+        # some not-compatible operations: A waits.
+        txn.transition(_TS.WAITING)
+        txn.record_wait(obj.name, now)
+        txn.operations.setdefault(obj.name, {})[invocation.member] = \
+            invocation
+        obj.waiting.append(WaitEntry(txn.txn_id, invocation, arrival=now))
+        if not obj.is_pending(txn.txn_id):
+            txn.clear_temp(obj.name)  # A_temp^X = ⊥ (no grant held)
+        self.bus.on_wait(txn, obj, invocation, now)
+        if blockers:
+            outcome = self._police_deadlock(txn, obj, invocation)
+            if outcome is not None:
+                return outcome
+        return GrantOutcome.QUEUED
+
+    def _validate(self, txn: GTMTransaction, obj: ManagedObject,
+                  invocation: Invocation) -> None:
+        """Algorithm 2's preconditions and the paper's constraint (i)."""
+        if not txn.is_in(_TS.ACTIVE):
+            raise ProtocolError(
+                "invoke",
+                f"{txn.txn_id!r} is {txn.state.value}, not active")
+        if invocation.member not in obj.permanent and \
+                invocation.op_class is not OperationClass.INSERT:
+            raise GTMError(
+                f"object {obj.name!r} has no member "
+                f"{invocation.member!r}")
+        if invocation.op_class is OperationClass.INSERT:
+            if obj.exists:
+                raise ProtocolError(
+                    "invoke",
+                    f"INSERT on {obj.name!r}: the object already exists")
+        elif not obj.exists:
+            raise ProtocolError(
+                "invoke",
+                f"{invocation.describe()!r} on {obj.name!r}: the "
+                f"object does not exist (deleted or never inserted)")
+        if obj.is_pending(txn.txn_id):
+            held = obj.pending[txn.txn_id]
+            existing = held.get(invocation.member)
+            if existing is not None and existing != invocation:
+                raise ProtocolError(
+                    "invoke",
+                    f"{txn.txn_id!r} already granted "
+                    f"{existing.describe()!r} on {obj.name!r}; at "
+                    f"most one pending invocation per data member")
+            if existing is None:
+                # a new member of the same object: the transaction's own
+                # operations must be mutually compatible (constraint i).
+                for own in held.values():
+                    if self.checker.in_conflict(invocation, own):
+                        raise ProtocolError(
+                            "invoke",
+                            f"{invocation.describe()!r} conflicts with "
+                            f"{txn.txn_id!r}'s own {own.describe()!r} on "
+                            f"{obj.name!r} (constraint i)")
+
+    def conflicting_holders(self, obj: ManagedObject, txn_id: str,
+                            invocation: Invocation) -> tuple[str, ...]:
+        """Transactions in (pending − sleeping) ∪ committing that conflict."""
+        holders = obj.holder_ops(exclude=txn_id, include_sleeping=False)
+        return tuple(
+            holder for holder, ops in holders.items()
+            if self.checker.conflicts_with_any(invocation, ops))
+
+    # ------------------------------------------------------------------
+    # deadlock policing (delegated to the policy object)
+    # ------------------------------------------------------------------
+
+    def _police_deadlock(self, txn: GTMTransaction, obj: ManagedObject,
+                         invocation: Invocation) -> str | None:
+        """Consult the policy until it rests; abort each chosen victim.
+
+        Returns :data:`GrantOutcome.ABORTED` when the requester itself is
+        the victim, :data:`GrantOutcome.GRANTED` when killing another
+        victim freed the object and the requester got the grant, and None
+        when the requester still (legitimately) waits.
+        """
+        txn_id = txn.txn_id
+        while True:
+            blockers = self.conflicting_holders(obj, txn_id, invocation)
+            if not blockers:
+                break
+            resolution = self.deadlock_policy.on_wait(txn_id, blockers)
+            if resolution is None:
+                return None
+            victim = resolution.victim
+            if victim != txn_id:
+                victim_txn = self._transactions.get(victim)
+                if victim_txn is not None and \
+                        victim_txn.is_in(_TS.COMMITTING):
+                    # never wound a committer: it holds X_committing and
+                    # finishes on its own — waiting behind it is finite.
+                    return None
+            self._abort_txn(victim, "deadlock-victim")
+            if victim == txn_id:
+                return GrantOutcome.ABORTED
+            if txn.is_in(_TS.ACTIVE):
+                # the victim's objects unlocked and the pump granted us.
+                return GrantOutcome.GRANTED
+        return None
+
+    # ------------------------------------------------------------------
+    # the grant postcondition (Algorithm 2, compatible branch)
+    # ------------------------------------------------------------------
+
+    def grant(self, txn: GTMTransaction, obj: ManagedObject,
+              invocation: Invocation, now: float) -> None:
+        self.deadlock_policy.on_stop_waiting(txn.txn_id)
+        already_held = invocation.member in obj.pending.get(txn.txn_id, {})
+        obj.pending.setdefault(txn.txn_id, {})[invocation.member] = \
+            invocation
+        if txn.txn_id not in obj.read:
+            # first grant on this object: snapshot the whole object.
+            # Members already granted keep their snapshot — each member's
+            # virtual copy is one consistent image per transaction, and
+            # reconciliation folds concurrent compatible commits in at
+            # commit time.
+            obj.snapshot_for(txn.txn_id)      # X_read^A = X_permanent
+            for member, value in obj.permanent.items():
+                txn.set_temp(obj.name, member, value)
+        elif not already_held:
+            # a member granted after the first snapshot (e.g. via the
+            # unlock pump while other members were held): refresh *this
+            # member's* snapshot so its x_read/a_temp match the grant
+            # time.  Keeping the stale image loses every commit that
+            # landed between first snapshot and this grant — an assign
+            # reconciles to its virtual value verbatim, so it would
+            # silently roll the member back (a lost update).
+            fresh = obj.permanent[invocation.member]
+            obj.read[txn.txn_id][invocation.member] = fresh
+            txn.set_temp(obj.name, invocation.member, fresh)
+        txn.operations.setdefault(obj.name, {})[invocation.member] = \
+            invocation
+        txn.involved.add(obj.name)
+        self.bus.on_grant(txn, obj, invocation, now)
+
+    # ------------------------------------------------------------------
+    # Algorithm 5 — ⟨abort, X, A⟩ (releasing A's claim on X)
+    # ------------------------------------------------------------------
+
+    def local_abort(self, txn: GTMTransaction, obj: ManagedObject) -> None:
+        """Drop A's work on X: grants, waits, staging, sleep marks."""
+        txn_id = txn.txn_id
+        if not txn.is_in(_TS.ACTIVE, _TS.ABORTING, _TS.WAITING,
+                         _TS.COMMITTING, _TS.SLEEPING):
+            raise ProtocolError(
+                "local_abort",
+                f"{txn_id!r} is {txn.state.value}; nothing to abort")
+        if not (obj.is_pending(txn_id) or obj.is_waiting(txn_id)
+                or txn_id in obj.committing):
+            raise ProtocolError(
+                "local_abort",
+                f"{txn_id!r} neither pending, waiting nor committing on "
+                f"{obj.name!r}")
+        if not txn.is_in(_TS.ABORTING):
+            txn.transition(_TS.ABORTING)
+        obj.aborting.add(txn_id)
+        txn.clear_temp(obj.name)
+        obj.read.pop(txn_id, None)
+        obj.new.pop(txn_id, None)
+        obj.pending.pop(txn_id, None)
+        obj.committing.pop(txn_id, None)
+        obj.remove_waiting(txn_id)
+        obj.sleeping.discard(txn_id)
+
+    # ------------------------------------------------------------------
+    # Algorithm 11 — ⟨unlock, X⟩
+    # ------------------------------------------------------------------
+
+    def pump_unlock(self, obj: ManagedObject) -> tuple[str, ...]:
+        """Fire ⟨unlock, X⟩: grant waiters the lock set no longer blocks.
+
+        Algorithm 11's trigger is ``X_pending = ⊥``; with per-member
+        invocations the general condition is per waiter: an entry of
+        θ(X_waiting − X_sleeping) is grantable when it conflicts with no
+        operation of ``(pending − sleeping) ∪ committing`` (other
+        transactions) and none already granted in this batch.  The
+        grant-policy keeps the FIFO no-overtake discipline (a blocked
+        waiter blocks everything behind it); the starvation policies
+        reorder.  Granted transactions become Active with fresh
+        snapshots.
+        """
+        candidates = [entry for entry in obj.waiting
+                      if entry.txn_id not in obj.sleeping]
+        if not candidates:
+            return ()
+        holders = obj.holder_ops(include_sleeping=False)
+        batch = self.grant_policy.select(obj, candidates, self.checker,
+                                         self._clock(), holders)
+        granted: list[str] = []
+        now = self._clock()
+        for entry in batch:
+            txn = self._transactions.get(entry.txn_id)
+            if txn is None or not txn.is_in(_TS.WAITING):
+                continue
+            if not self.throttle.admits(obj, entry.invocation):
+                continue
+            obj.remove_waiting(entry.txn_id)
+            txn.transition(_TS.ACTIVE)
+            txn.clear_wait(obj.name)
+            self.grant(txn, obj, entry.invocation, now)
+            granted.append(entry.txn_id)
+        if granted:
+            self.bus.on_unlock(obj, tuple(granted), now)
+        return tuple(granted)

@@ -1,7 +1,14 @@
-"""GTM event vocabulary (paper Section IV, "events of interest").
+"""GTM event vocabulary and observer plumbing (paper Section IV).
 
-These dataclasses are the wire format between workload drivers /
-schedulers and the :class:`~repro.core.gtm.GlobalTransactionManager`.
+Two things live here:
+
+1. the ⟨...⟩ *event dataclasses* — the wire format between workload
+   drivers / schedulers and the
+   :class:`~repro.core.gtm.GlobalTransactionManager`;
+2. the *observer stream*: :class:`GTMObserver` (the hook contract) and
+   :class:`EventBus` (a fan-out multiplexer that isolates the GTM from
+   misbehaving observers).
+
 Every event the paper lists is present:
 
 ====================  =========================================
@@ -24,8 +31,125 @@ Paper notation        Class
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.opclass import Invocation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.objects import ManagedObject
+    from repro.core.transaction import GTMTransaction
+
+
+class GTMObserver:
+    """Hook points for metrics and schedulers.  All no-ops by default."""
+
+    def on_begin(self, txn: "GTMTransaction", now: float) -> None: ...
+
+    def on_grant(self, txn: "GTMTransaction", obj: "ManagedObject",
+                 invocation: Invocation, now: float) -> None: ...
+
+    def on_wait(self, txn: "GTMTransaction", obj: "ManagedObject",
+                invocation: Invocation, now: float) -> None: ...
+
+    def on_local_commit(self, txn: "GTMTransaction", obj: "ManagedObject",
+                        now: float) -> None: ...
+
+    def on_commit_deferred(self, txn: "GTMTransaction", obj: "ManagedObject",
+                           now: float) -> None: ...
+
+    def on_global_commit(self, txn: "GTMTransaction", now: float) -> None: ...
+
+    def on_global_abort(self, txn: "GTMTransaction", now: float,
+                        reason: str) -> None: ...
+
+    def on_sleep(self, txn: "GTMTransaction", now: float) -> None: ...
+
+    def on_awake(self, txn: "GTMTransaction", now: float,
+                 survived: bool) -> None: ...
+
+    def on_unlock(self, obj: "ManagedObject",
+                  granted: tuple[str, ...], now: float) -> None: ...
+
+
+@dataclass
+class ObserverError:
+    """One exception swallowed by the :class:`EventBus`."""
+
+    hook: str
+    observer: GTMObserver
+    error: Exception
+
+
+class EventBus(GTMObserver):
+    """Fan-out multiplexer for :class:`GTMObserver` callbacks.
+
+    The GTM dispatches every hook through one bus; any number of
+    subscribers (scheduler signals, metrics timelines, traces) consume
+    the same stream.  A raising subscriber must never corrupt GTM state
+    mid-algorithm, so every callback is isolated: exceptions are caught,
+    recorded in :attr:`errors`, and optionally forwarded to ``on_error``.
+    """
+
+    def __init__(self, observers: tuple[GTMObserver, ...] | list = (),
+                 on_error: Callable[[ObserverError], None] | None = None,
+                 ) -> None:
+        self._observers: list[GTMObserver] = list(observers)
+        self._on_error = on_error
+        #: Exceptions raised by subscribers, in dispatch order.
+        self.errors: list[ObserverError] = []
+
+    def subscribe(self, observer: GTMObserver) -> GTMObserver:
+        self._observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer: GTMObserver) -> None:
+        self._observers = [o for o in self._observers if o is not observer]
+
+    def observers(self) -> tuple[GTMObserver, ...]:
+        return tuple(self._observers)
+
+    def _dispatch(self, hook: str, *args: Any) -> None:
+        for observer in self._observers:
+            try:
+                getattr(observer, hook)(*args)
+            except Exception as exc:  # noqa: BLE001 - isolation is the point
+                record = ObserverError(hook=hook, observer=observer,
+                                       error=exc)
+                self.errors.append(record)
+                if self._on_error is not None:
+                    self._on_error(record)
+
+    # -- GTMObserver hooks, multiplexed -------------------------------------
+
+    def on_begin(self, txn, now):
+        self._dispatch("on_begin", txn, now)
+
+    def on_grant(self, txn, obj, invocation, now):
+        self._dispatch("on_grant", txn, obj, invocation, now)
+
+    def on_wait(self, txn, obj, invocation, now):
+        self._dispatch("on_wait", txn, obj, invocation, now)
+
+    def on_local_commit(self, txn, obj, now):
+        self._dispatch("on_local_commit", txn, obj, now)
+
+    def on_commit_deferred(self, txn, obj, now):
+        self._dispatch("on_commit_deferred", txn, obj, now)
+
+    def on_global_commit(self, txn, now):
+        self._dispatch("on_global_commit", txn, now)
+
+    def on_global_abort(self, txn, now, reason):
+        self._dispatch("on_global_abort", txn, now, reason)
+
+    def on_sleep(self, txn, now):
+        self._dispatch("on_sleep", txn, now)
+
+    def on_awake(self, txn, now, survived):
+        self._dispatch("on_awake", txn, now, survived)
+
+    def on_unlock(self, obj, granted, now):
+        self._dispatch("on_unlock", obj, granted, now)
 
 
 @dataclass(frozen=True)
@@ -114,3 +238,39 @@ class Unlock(GTMEvent):
     """⟨unlock, X⟩ — X has no pending operations; waiters may be granted."""
 
     object_name: str
+
+
+def dispatch_event(gtm: Any, event: GTMEvent) -> Any:
+    """Drive a GTM facade with one ⟨...⟩ event object.
+
+    Event-sourced drivers (e.g. replaying a recorded trace) can feed the
+    GTM the paper's event vocabulary directly instead of calling the
+    per-algorithm methods.  Returns whatever the handler returns.
+    """
+    from repro.errors import GTMError
+    from repro.core.states import TransactionState as _TS
+
+    if isinstance(event, Begin):
+        return gtm.begin(event.txn_id)
+    if isinstance(event, Invoke):
+        return gtm.invoke(event.txn_id, event.object_name, event.invocation)
+    if isinstance(event, LocalCommit):
+        return gtm.local_commit(event.txn_id, event.object_name)
+    if isinstance(event, GlobalCommit):
+        return gtm.global_commit(event.txn_id)
+    if isinstance(event, LocalAbort):
+        return gtm.local_abort(event.txn_id, event.object_name)
+    if isinstance(event, GlobalAbort):
+        return gtm.global_abort(event.txn_id)
+    if isinstance(event, (LocalSleep, GlobalSleep)):
+        # the driver-facing sleep covers both granularities
+        if not gtm.transaction(event.txn_id).is_in(_TS.SLEEPING):
+            return gtm.sleep(event.txn_id)
+        return None
+    if isinstance(event, (LocalAwake, GlobalAwake)):
+        if gtm.transaction(event.txn_id).is_in(_TS.SLEEPING):
+            return gtm.awake(event.txn_id)
+        return None
+    if isinstance(event, Unlock):
+        return gtm.admission.pump_unlock(gtm.object(event.object_name))
+    raise GTMError(f"unknown GTM event {event!r}")

@@ -1,33 +1,16 @@
-"""The Global Transaction Manager — Algorithms 1-11 of the paper.
+"""The Global Transaction Manager facade — Algorithms 1-11 of the paper.
 
 The GTM is "a sort of controller for the state machines that manages the
 transaction conflicts on the various database objects, thus allowing a
-pre-schedule of transactions".  It handles the full event vocabulary of
-Section IV: begin, invocation, local/global commit, local/global abort,
-local/global sleep and awake, and object unlock.
-
-Interpretation notes (places where the paper's pseudocode needed a
-decision; each is covered by a dedicated unit test):
-
-- **Algorithm 3 precondition.**  The printed precondition
-  "∃B ∈ X_committing s.t. B ≠ A" must be a typo for its negation: Table II
-  shows B's reconciliation reading the permanent value *after* A's global
-  commit (102 + 104 − 100 = 106), which requires at most one transaction
-  in ``X_committing`` per object.  We implement the negation and queue
-  deferred commit requests, replaying them when the committer finishes.
-- **Unlock trigger.**  Algorithm 11 fires when ``X_pending = ⊥``.  Since
-  invocation conflicts are checked against ``(pending − sleeping) ∪
-  committing`` (Algorithm 2), the effective lock set excludes sleepers;
-  we therefore fire unlock when ``(pending − sleeping)`` *and*
-  ``committing`` are both empty — otherwise a disconnected transaction
-  would keep waiters blocked forever, the exact pathology the paper sets
-  out to remove.
-- **Grant snapshots in Algorithm 11.**  The postcondition omits the
-  ``X_read/A_temp`` snapshot lines that Algorithm 9 (case 1) spells out;
-  a granted waiter obviously needs them, so unlock grants snapshot too.
-- **Awakening queue-jump.**  Algorithm 9 case 1 grants an awakening
-  *waiting* transaction immediately when no conflict exists, ahead of
-  other waiters; we follow the paper.
+pre-schedule of transactions" (Section IV).  This module is a *facade*
+over the cooperating subsystems wired together here:
+:mod:`~repro.core.admission` (Table I semantic locking, Algorithms 2, 5
+and 11), :mod:`~repro.core.commit_pipeline` (Eq. (1)/(2) reconciliation
+and SSTs, Algorithms 3 and 4), :mod:`~repro.core.sleep_manager`
+(Algorithms 7-10) and :mod:`~repro.core.policies` (Section VII
+policing).  Observer callbacks are multiplexed through one
+:class:`~repro.core.events.EventBus`.  The paper-interpretation notes
+live in ``docs/PROTOCOL.md`` alongside the layer diagram.
 """
 
 from __future__ import annotations
@@ -36,11 +19,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
-from repro.errors import (
-    GTMError,
-    ProtocolError,
-    SSTFailure,
+from repro.errors import GTMError, ProtocolError
+from repro.core.admission import (
+    AdmissionController,
+    GrantOutcome,
+    LockTable,
 )
+from repro.core.commit_pipeline import CommitPipeline
 from repro.core.compatibility import (
     CompatibilityMatrix,
     DEFAULT_MATRIX,
@@ -48,33 +33,28 @@ from repro.core.compatibility import (
     LogicalDependence,
 )
 from repro.core.conflicts import ConflictChecker
+from repro.core.events import EventBus, GTMEvent, GTMObserver, dispatch_event
 from repro.core.history import OperationLog
-from repro.ldbs.deadlock import DeadlockDetector, VictimPolicy
-from repro.core.objects import (
-    CommitRecord,
-    ManagedObject,
-    ObjectBinding,
-    WaitEntry,
-)
-from repro.core.opclass import Invocation, OperationClass
+from repro.core.objects import ManagedObject, ObjectBinding
+from repro.core.opclass import Invocation
+from repro.core.policies import DeadlockPolicy, build_deadlock_policy
 from repro.core.reconciliation import ReconcilerRegistry, default_registry
+from repro.core.sleep_manager import SleepManager
+from repro.core.sst import SSTExecutor, SSTReport
 from repro.core.starvation import FifoGrantPolicy, GrantPolicy
 from repro.core.states import TransactionState
-from repro.core.sst import SSTExecutor, SSTReport, StagedWrite
 from repro.core.throttle import NoThrottle
 from repro.core.transaction import GTMTransaction
+from repro.ldbs.deadlock import VictimPolicy
+
+__all__ = [
+    "GlobalTransactionManager",
+    "GTMConfig",
+    "GTMObserver",
+    "GrantOutcome",
+]
 
 _TS = TransactionState
-
-
-class GrantOutcome:
-    """Result of an ⟨op, X, A⟩ invocation."""
-
-    GRANTED = "granted"
-    QUEUED = "queued"
-    #: the request closed a wait-for cycle and this transaction was
-    #: chosen as the deadlock victim (it is now Aborted).
-    ABORTED = "aborted-deadlock"
 
 
 @dataclass
@@ -87,43 +67,13 @@ class GTMConfig:
     registry: ReconcilerRegistry = field(default_factory=default_registry)
     grant_policy: GrantPolicy = field(default_factory=FifoGrantPolicy)
     throttle: Any = field(default_factory=NoThrottle)
-    #: Section VII: "classical approaches as timeout or wait for graphs
-    #: techniques can be used to detect the deadlock presence".  When
-    #: enabled, multi-object waits maintain a wait-for graph and cycles
-    #: abort the victim (youngest by default).
+    #: Legacy Section VII knobs: maintain a wait-for graph on
+    #: multi-object waits and abort the chosen victim on a cycle.
     deadlock_detection: bool = True
     victim_policy: VictimPolicy = VictimPolicy.YOUNGEST
-
-
-class GTMObserver:
-    """Hook points for metrics and schedulers.  All no-ops by default."""
-
-    def on_begin(self, txn: GTMTransaction, now: float) -> None: ...
-
-    def on_grant(self, txn: GTMTransaction, obj: ManagedObject,
-                 invocation: Invocation, now: float) -> None: ...
-
-    def on_wait(self, txn: GTMTransaction, obj: ManagedObject,
-                invocation: Invocation, now: float) -> None: ...
-
-    def on_local_commit(self, txn: GTMTransaction, obj: ManagedObject,
-                        now: float) -> None: ...
-
-    def on_commit_deferred(self, txn: GTMTransaction, obj: ManagedObject,
-                           now: float) -> None: ...
-
-    def on_global_commit(self, txn: GTMTransaction, now: float) -> None: ...
-
-    def on_global_abort(self, txn: GTMTransaction, now: float,
-                        reason: str) -> None: ...
-
-    def on_sleep(self, txn: GTMTransaction, now: float) -> None: ...
-
-    def on_awake(self, txn: GTMTransaction, now: float,
-                 survived: bool) -> None: ...
-
-    def on_unlock(self, obj: ManagedObject,
-                  granted: tuple[str, ...], now: float) -> None: ...
+    #: Explicit policy (wound-wait / wait-die / graph / none);
+    #: overrides the two legacy knobs above when set.
+    deadlock_policy: DeadlockPolicy | None = None
 
 
 class GlobalTransactionManager:
@@ -141,28 +91,61 @@ class GlobalTransactionManager:
         self._logical_time = itertools.count(1)
         self.sst_executor = sst_executor
         self.observer = observer or GTMObserver()
+        self.bus = EventBus([self.observer])
         self.checker = ConflictChecker(matrix=self.config.matrix,
                                        dependence=self.config.dependence)
-        self.objects: dict[str, ManagedObject] = {}
         self.transactions: dict[str, GTMTransaction] = {}
-        #: Per object: txn ids whose local commit was deferred because
-        #: another transaction held X_committing (Algorithm 3).
-        self._deferred_commits: dict[str, list[str]] = {}
-        self.sst_reports: list[SSTReport] = []
-        #: operation log + commit order for serializability checking
-        #: (:mod:`repro.core.history`).
+        #: operation log + commit order for serializability checking.
         self.history = OperationLog()
-        self.detector = DeadlockDetector(
-            policy=self.config.victim_policy,
-            start_time_of=lambda t: (
-                self.transactions[t].begin_time
-                if t in self.transactions else 0.0),
-        )
-        self.deadlocks_detected = 0
 
-    # ------------------------------------------------------------------
-    # time
-    # ------------------------------------------------------------------
+        self.deadlock_policy = (
+            self.config.deadlock_policy
+            or build_deadlock_policy(self.config.deadlock_detection,
+                                     self.config.victim_policy))
+        self.deadlock_policy.bind(
+            lambda t: (self.transactions[t].begin_time
+                       if t in self.transactions else 0.0))
+        self.lock_table = LockTable()
+        self.admission = AdmissionController(
+            lock_table=self.lock_table, checker=self.checker,
+            grant_policy=self.config.grant_policy,
+            throttle=self.config.throttle,
+            deadlock_policy=self.deadlock_policy, bus=self.bus,
+            transactions=self.transactions, clock=self.now,
+            abort_txn=self.abort)
+        self.pipeline = CommitPipeline(
+            registry=self.config.registry, history=self.history,
+            bus=self.bus, transactions=self.transactions,
+            sst_executor=sst_executor, clock=self.now,
+            get_object=self.object,
+            pump_unlock=self.admission.pump_unlock,
+            on_finished=self.deadlock_policy.on_finished,
+            abort_from_committing=lambda txn, now, reason:
+                self.abort(txn.txn_id, reason=reason))
+        self.sleep_manager = SleepManager(
+            checker=self.checker, bus=self.bus,
+            pump_unlock=self.admission.pump_unlock,
+            regrant=lambda txn, obj, inv, now:
+                self.admission.grant(txn, obj, inv, now),
+            on_finished=self.deadlock_policy.on_finished)
+
+    # -- compatibility views over the subsystems ------------------------
+
+    @property
+    def objects(self) -> dict[str, ManagedObject]:
+        return self.lock_table.objects
+
+    @property
+    def sst_reports(self) -> list[SSTReport]:
+        return self.pipeline.sst_reports
+
+    @property
+    def deadlocks_detected(self) -> int:
+        return self.deadlock_policy.detections
+
+    def subscribe(self, observer: GTMObserver) -> GTMObserver:
+        """Attach one more observer to the GTM's event stream."""
+        return self.bus.subscribe(observer)
 
     def now(self) -> float:
         """Current time: external clock if wired, else a logical counter."""
@@ -175,9 +158,7 @@ class GlobalTransactionManager:
     # ------------------------------------------------------------------
 
     def register_object(self, obj: ManagedObject) -> ManagedObject:
-        if obj.name in self.objects:
-            raise GTMError(f"object {obj.name!r} already registered")
-        self.objects[obj.name] = obj
+        self.lock_table.register(obj)
         self.history.record_object(obj.name, obj.permanent, obj.exists)
         return obj
 
@@ -185,26 +166,23 @@ class GlobalTransactionManager:
                       members: Mapping[str, Any] | None = None,
                       binding: ObjectBinding | None = None,
                       exists: bool = True) -> ManagedObject:
-        """Register a managed object (atomic or structured).
-
-        ``exists=False`` registers a *shell*: only an INSERT invocation
-        may touch it until the insert commits.
-        """
+        """Register a managed object; ``exists=False`` registers a
+        *shell* only an INSERT invocation may touch until it commits."""
         return self.register_object(
             ManagedObject(name, members=members, value=value,
                           binding=binding, exists=exists))
 
     def object(self, name: str) -> ManagedObject:
-        try:
-            return self.objects[name]
-        except KeyError:
-            raise GTMError(f"unknown object {name!r}") from None
+        return self.lock_table.get(name)
 
     def transaction(self, txn_id: str) -> GTMTransaction:
         try:
             return self.transactions[txn_id]
         except KeyError:
             raise GTMError(f"unknown transaction {txn_id!r}") from None
+
+    def _involved_objects(self, txn: GTMTransaction) -> list[ManagedObject]:
+        return [self.object(name) for name in sorted(txn.involved)]
 
     # ------------------------------------------------------------------
     # Algorithm 1 — ⟨begin, A⟩
@@ -217,139 +195,19 @@ class GlobalTransactionManager:
         now = self.now()
         txn = GTMTransaction(txn_id, begin_time=now, priority=priority)
         self.transactions[txn_id] = txn
-        self.observer.on_begin(txn, now)
+        self.bus.on_begin(txn, now)
         return txn
 
     # ------------------------------------------------------------------
-    # Algorithm 2 — ⟨op, X, A⟩
+    # Algorithm 2 — ⟨op, X, A⟩ (the admission layer)
     # ------------------------------------------------------------------
 
     def invoke(self, txn_id: str, object_name: str,
                invocation: Invocation) -> str:
-        """⟨op, X, A⟩: request the grant for an operation class on X.
-
-        Returns :data:`GrantOutcome.GRANTED` or :data:`GrantOutcome.QUEUED`.
-        Re-invoking the exact granted (class, member) is an idempotent
-        grant; requesting a *different* class on the same object violates
-        the paper's constraint (i) and raises :class:`ProtocolError`.
-        """
-        txn = self.transaction(txn_id)
-        obj = self.object(object_name)
-        now = self.now()
-        if not txn.is_in(_TS.ACTIVE):
-            raise ProtocolError(
-                "invoke", f"{txn_id!r} is {txn.state.value}, not active")
-        if invocation.member not in obj.permanent and \
-                invocation.op_class is not OperationClass.INSERT:
-            raise GTMError(
-                f"object {object_name!r} has no member "
-                f"{invocation.member!r}")
-        if invocation.op_class is OperationClass.INSERT:
-            if obj.exists:
-                raise ProtocolError(
-                    "invoke",
-                    f"INSERT on {object_name!r}: the object already exists")
-        elif not obj.exists:
-            raise ProtocolError(
-                "invoke",
-                f"{invocation.describe()!r} on {object_name!r}: the "
-                f"object does not exist (deleted or never inserted)")
-
-        if obj.is_pending(txn_id):
-            held = obj.pending[txn_id]
-            existing = held.get(invocation.member)
-            if existing == invocation:
-                return GrantOutcome.GRANTED
-            if existing is not None:
-                raise ProtocolError(
-                    "invoke",
-                    f"{txn_id!r} already granted "
-                    f"{existing.describe()!r} on {object_name!r}; at "
-                    f"most one pending invocation per data member")
-            # a new member of the same object: the transaction's own
-            # operations must be mutually compatible (constraint i).
-            for own in held.values():
-                if self.checker.in_conflict(invocation, own):
-                    raise ProtocolError(
-                        "invoke",
-                        f"{invocation.describe()!r} conflicts with "
-                        f"{txn_id!r}'s own {own.describe()!r} on "
-                        f"{object_name!r} (constraint i)")
-
-        blockers = self._conflicting_holders(obj, txn_id, invocation)
-        throttled = not self.config.throttle.admits(obj, invocation)
-        denied = self.config.grant_policy.deny_fresh_invocation(
-            obj, invocation, self.checker, now)
-        if not blockers and not throttled and not denied:
-            self._grant(txn, obj, invocation, now)
-            return GrantOutcome.GRANTED
-
-        # some not-compatible operations: A waits.
-        txn.transition(_TS.WAITING)
-        txn.record_wait(object_name, now)
-        txn.operations.setdefault(object_name, {})[invocation.member] = \
-            invocation
-        obj.waiting.append(WaitEntry(txn_id, invocation, arrival=now))
-        if not obj.is_pending(txn_id):
-            txn.clear_temp(object_name)  # A_temp^X = ⊥ (no grant held)
-        self.observer.on_wait(txn, obj, invocation, now)
-        if self.config.deadlock_detection and blockers:
-            outcome = self._check_deadlock(txn_id, blockers)
-            if outcome is not None:
-                return outcome
-        return GrantOutcome.QUEUED
-
-    def _check_deadlock(self, txn_id: str,
-                        blockers: tuple[str, ...]) -> str | None:
-        """Maintain the wait-for graph; break any cycle through txn_id.
-
-        Returns :data:`GrantOutcome.ABORTED` when the requester itself
-        is the victim, :data:`GrantOutcome.GRANTED` when killing another
-        victim freed the object and the requester got the grant, and
-        None when no cycle (or the requester still waits).
-        """
-        resolution = self.detector.on_wait(txn_id, blockers)
-        if resolution is None:
-            return None
-        self.deadlocks_detected += 1
-        victim = resolution.victim
-        self.abort(victim, reason="deadlock-victim")
-        if victim == txn_id:
-            return GrantOutcome.ABORTED
-        # the victim's objects unlocked: the requester may hold the
-        # grant now.
-        requester = self.transactions[txn_id]
-        if requester.is_in(_TS.ACTIVE):
-            return GrantOutcome.GRANTED
-        return None
-
-    def _conflicting_holders(self, obj: ManagedObject, txn_id: str,
-                             invocation: Invocation) -> tuple[str, ...]:
-        """Transactions in (pending − sleeping) ∪ committing that conflict."""
-        holders = obj.holder_ops(exclude=txn_id, include_sleeping=False)
-        return tuple(
-            holder for holder, ops in holders.items()
-            if self.checker.conflicts_with_any(invocation, ops))
-
-    def _grant(self, txn: GTMTransaction, obj: ManagedObject,
-               invocation: Invocation, now: float) -> None:
-        """Postcondition of the compatible branch of Algorithm 2."""
-        self.detector.on_stop_waiting(txn.txn_id)
-        obj.pending.setdefault(txn.txn_id, {})[invocation.member] = \
-            invocation
-        if txn.txn_id not in obj.read:
-            # first grant on this object: snapshot the whole object.
-            # Later member grants keep the original snapshot — the
-            # virtual copy is one consistent image per transaction,
-            # and reconciliation folds concurrent compatible commits
-            # in at commit time.
-            obj.snapshot_for(txn.txn_id)      # X_read^A = X_permanent
-            for member, value in obj.permanent.items():
-                txn.set_temp(obj.name, member, value)
-        txn.operations.setdefault(obj.name, {})[invocation.member] = \
-            invocation
-        txn.involved.add(obj.name)
-        self.observer.on_grant(txn, obj, invocation, now)
+        """⟨op, X, A⟩: request the grant; returns a :class:`GrantOutcome`."""
+        return self.admission.request(self.transaction(txn_id),
+                                      self.object(object_name),
+                                      invocation, self.now())
 
     # ------------------------------------------------------------------
     # operating on virtual data
@@ -357,50 +215,10 @@ class GlobalTransactionManager:
 
     def apply(self, txn_id: str, object_name: str,
               invocation: Invocation) -> Any:
-        """Perform one operation on A's virtual copy of X.
-
-        The operation must belong to the granted class and member
-        (constraint i); READ of any member is always allowed since the
-        grant snapshots the whole object.  Returns the resulting virtual
-        value.
-        """
-        txn = self.transaction(txn_id)
-        obj = self.object(object_name)
-        if not txn.is_in(_TS.ACTIVE):
-            raise ProtocolError(
-                "apply", f"{txn_id!r} is {txn.state.value}, not active")
-        if not obj.is_pending(txn_id):
-            raise ProtocolError(
-                "apply", f"{txn_id!r} holds no grant on {object_name!r}")
-        granted = obj.pending[txn_id].get(invocation.member)
-        is_read = invocation.op_class is OperationClass.READ
-        if not is_read and (granted is None
-                            or invocation.op_class is not granted.op_class):
-            raise ProtocolError(
-                "apply",
-                f"{invocation.describe()!r} is outside the granted "
-                f"operations {[op.describe() for op in obj.pending_ops(txn_id)]} "
-                f"(constraint i)")
-        if invocation.op_class is OperationClass.INSERT:
-            # the operand carries the new object's member values
-            values = invocation.operand or {}
-            unknown = set(values) - set(obj.permanent)
-            if unknown:
-                raise GTMError(
-                    f"INSERT values name unknown members {sorted(unknown)}")
-            for member, value in values.items():
-                txn.set_temp(object_name, member, value)
-            self.history.record_apply(txn_id, object_name, invocation)
-            return dict(values)
-        if invocation.op_class is OperationClass.DELETE:
-            self.history.record_apply(txn_id, object_name, invocation)
-            return None  # the tombstone is staged at local commit
-        current = txn.temp_value(object_name, invocation.member)
-        new_value = invocation.apply(current)
-        if not is_read:
-            txn.set_temp(object_name, invocation.member, new_value)
-            self.history.record_apply(txn_id, object_name, invocation)
-        return new_value
+        """Perform one operation on A's virtual copy of X (A_temp)."""
+        return self.pipeline.apply_virtual(self.transaction(txn_id),
+                                           self.object(object_name),
+                                           invocation)
 
     def read_virtual(self, txn_id: str, object_name: str,
                      member: str = "value") -> Any:
@@ -408,168 +226,35 @@ class GlobalTransactionManager:
         return self.transaction(txn_id).temp_value(object_name, member)
 
     # ------------------------------------------------------------------
-    # Algorithm 3 — ⟨commit, X, A⟩
+    # Algorithms 3 & 4 — the commit pipeline
     # ------------------------------------------------------------------
 
     def local_commit(self, txn_id: str, object_name: str) -> bool:
-        """⟨commit, X, A⟩: reconcile and stage A's value for X.
-
-        Returns True when staged; False when deferred because another
-        transaction occupies ``X_committing`` (the request is queued and
-        replayed automatically when the committer finishes).
-        """
-        txn = self.transaction(txn_id)
-        obj = self.object(object_name)
-        now = self.now()
-        if not txn.is_in(_TS.ACTIVE, _TS.COMMITTING):
-            raise ProtocolError(
-                "local_commit",
-                f"{txn_id!r} is {txn.state.value}, not active/committing")
-        if not obj.is_pending(txn_id):
-            raise ProtocolError(
-                "local_commit", f"{txn_id!r} not pending on {object_name!r}")
-        if any(other != txn_id for other in obj.committing):
-            queue = self._deferred_commits.setdefault(object_name, [])
-            if txn_id not in queue:
-                queue.append(txn_id)
-            if txn.is_in(_TS.ACTIVE):
-                txn.transition(_TS.COMMITTING)
-            self.observer.on_commit_deferred(txn, obj, now)
-            return False
-
-        if txn.is_in(_TS.ACTIVE):
-            txn.transition(_TS.COMMITTING)
-        invocations = obj.pending[txn_id]
-        obj.committing[txn_id] = dict(invocations)
-        new_values: dict[str, Any] = {}
-        for invocation in invocations.values():
-            new_values.update(self._reconcile(txn, obj, invocation))
-        obj.new[txn_id] = new_values
-        # NOTE: Algorithm 3's postcondition clears A_temp and X_read here,
-        # but the paper's own Table II shows both still populated on the
-        # "req commit" row and cleared only at the commit row.  The two
-        # clearing points are observationally equivalent (X_new is already
-        # staged); we follow Table II so the replayed trace matches it.
-        del obj.pending[txn_id]           # X_pending -= (A, op)
-        self.observer.on_local_commit(txn, obj, now)
-        return True
-
-    def _reconcile(self, txn: GTMTransaction, obj: ManagedObject,
-                   invocation: Invocation) -> dict[str, Any]:
-        """ρ(X_read, A_temp, X_permanent) for each touched member."""
-        op_class = invocation.op_class
-        if op_class is OperationClass.READ:
-            return {}
-        if op_class is OperationClass.INSERT:
-            return {member: txn.temp_value(obj.name, member)
-                    for member in obj.permanent}
-        if op_class is OperationClass.DELETE:
-            return {"__deleted__": True}
-        member = invocation.member
-        x_read = obj.read_value(txn.txn_id, member)
-        a_temp = txn.temp_value(obj.name, member)
-        x_permanent = obj.permanent[member]
-        value = self.config.registry.reconcile(op_class, x_read, a_temp,
-                                               x_permanent)
-        return {member: value}
-
-    # ------------------------------------------------------------------
-    # Algorithm 4 — ⟨commit, A⟩
-    # ------------------------------------------------------------------
+        """⟨commit, X, A⟩: reconcile and stage; False when deferred."""
+        return self.pipeline.local_commit(self.transaction(txn_id),
+                                          self.object(object_name),
+                                          self.now())
 
     def global_commit(self, txn_id: str) -> SSTReport | None:
-        """⟨commit, A⟩: apply X_new everywhere via the SST.
+        """⟨commit, A⟩: apply X_new everywhere via the SST."""
+        return self.pipeline.finish_commit(self.transaction(txn_id),
+                                           self.now())
 
-        Preconditions: A is Committing and occupies ``X_committing`` with
-        a staged ``X_new`` on every involved object.  On SST failure the
-        transaction aborts instead (Section VII notes the paper *assumes*
-        SSTs always succeed; the failure path is our extension) and the
-        :class:`~repro.errors.SSTFailure` propagates.
-        """
-        txn = self.transaction(txn_id)
-        now = self.now()
-        if not txn.is_in(_TS.COMMITTING):
-            raise ProtocolError(
-                "global_commit",
-                f"{txn_id!r} is {txn.state.value}, not committing")
-        involved = [self.object(name) for name in sorted(txn.involved)]
-        staged: list[tuple[ManagedObject, dict[str, Any]]] = []
-        for obj in involved:
-            if txn_id not in obj.committing:
-                raise ProtocolError(
-                    "global_commit",
-                    f"{txn_id!r} missing from {obj.name!r}.committing — "
-                    f"local commit every involved object first")
-            new_values = obj.new.get(txn_id)
-            if new_values is None:
-                raise ProtocolError(
-                    "global_commit",
-                    f"X_new is ⊥ for {txn_id!r} on {obj.name!r}")
-            staged.append((obj, new_values))
+    def request_commit(self, txn_id: str) -> SSTReport | None:
+        """Local commit on every involved object, then global commit."""
+        return self.pipeline.request_commit(self.transaction(txn_id))
 
-        report: SSTReport | None = None
-        if self.sst_executor is not None:
-            writes = [self._staged_write(obj, values)
-                      for obj, values in staged]
-            try:
-                report = self.sst_executor.execute(txn_id, writes)
-            except SSTFailure:
-                self._abort_from_committing(txn, now,
-                                            reason="sst-failure")
-                raise
-            self.sst_reports.append(report)
+    def try_finish_commit(self, txn_id: str) -> SSTReport | None:
+        """Retry a commit left pending by deferred local commits."""
+        return self.pipeline.try_finish_commit(self.transaction(txn_id))
 
-        for obj, new_values in staged:
-            self._apply_permanent(obj, new_values)
-            invocations = obj.committing.pop(txn_id)
-            obj.committed.append(
-                CommitRecord(txn_id, tuple(invocations.values()),
-                             commit_time=now))
-            obj.new.pop(txn_id, None)
-            obj.read.pop(txn_id, None)    # X_read^A = ⊥ (see local_commit)
-        txn.transition(_TS.COMMITTED)
-        txn.t_wait.clear()
-        txn.t_sleep = None
-        txn.end_time = now
-        txn.clear_all_temp()
-        self.detector.on_finished(txn_id)
-        self.history.record_commit(txn_id)
-        self.observer.on_global_commit(txn, now)
-        for obj, _values in staged:
-            self._pump_deferred_commits(obj)
-            self._maybe_unlock(obj)
-        return report
+    def commit_ready(self, txn_id: str) -> bool:
+        """True when every involved object has A staged in X_committing."""
+        return self.pipeline.commit_ready(self.transaction(txn_id))
 
-    def _staged_write(self, obj: ManagedObject,
-                      new_values: dict[str, Any]) -> StagedWrite:
-        if "__deleted__" in new_values:
-            return StagedWrite(object_name=obj.name, binding=obj.binding,
-                               values={}, delete=True)
-        return StagedWrite(object_name=obj.name, binding=obj.binding,
-                           values=dict(new_values))
-
-    def _apply_permanent(self, obj: ManagedObject,
-                         new_values: dict[str, Any]) -> None:
-        if "__deleted__" in new_values:
-            obj.permanent = {member: None for member in obj.permanent}
-            obj.exists = False
-            return
-        obj.permanent.update(new_values)
-        obj.exists = True  # a committed INSERT materializes the shell
-
-    def _pump_deferred_commits(self, obj: ManagedObject) -> None:
-        """Replay queued ⟨commit, X, A⟩ requests after a committer leaves."""
-        queue = self._deferred_commits.get(obj.name)
-        while queue:
-            txn_id = queue.pop(0)
-            txn = self.transactions.get(txn_id)
-            if txn is None or not txn.is_in(_TS.COMMITTING):
-                continue
-            if not obj.is_pending(txn_id):
-                continue
-            self.local_commit(txn_id, obj.name)
-            # only one committer at a time: stop after a success
-            break
+    def pump_commits(self) -> list[str]:
+        """Complete every transaction whose deferred commits have staged."""
+        return self.pipeline.pump_commits()
 
     # ------------------------------------------------------------------
     # Algorithms 5 & 6 — ⟨abort, X, A⟩ and ⟨abort, A⟩
@@ -577,32 +262,9 @@ class GlobalTransactionManager:
 
     def local_abort(self, txn_id: str, object_name: str) -> None:
         """⟨abort, X, A⟩: drop A's work on X."""
-        txn = self.transaction(txn_id)
-        obj = self.object(object_name)
-        if not txn.is_in(_TS.ACTIVE, _TS.ABORTING, _TS.WAITING,
-                         _TS.COMMITTING, _TS.SLEEPING):
-            raise ProtocolError(
-                "local_abort",
-                f"{txn_id!r} is {txn.state.value}; nothing to abort")
-        if not (obj.is_pending(txn_id) or obj.is_waiting(txn_id)
-                or txn_id in obj.committing):
-            raise ProtocolError(
-                "local_abort",
-                f"{txn_id!r} neither pending, waiting nor committing on "
-                f"{object_name!r}")
-        if not txn.is_in(_TS.ABORTING):
-            txn.transition(_TS.ABORTING)
-        obj.aborting.add(txn_id)
-        txn.clear_temp(object_name)
-        obj.read.pop(txn_id, None)
-        obj.new.pop(txn_id, None)
-        obj.pending.pop(txn_id, None)
-        obj.committing.pop(txn_id, None)
-        obj.remove_waiting(txn_id)
-        obj.sleeping.discard(txn_id)
-        queue = self._deferred_commits.get(object_name)
-        if queue and txn_id in queue:
-            queue.remove(txn_id)
+        self.admission.local_abort(self.transaction(txn_id),
+                                   self.object(object_name))
+        self.pipeline.cancel_deferred(txn_id, object_name)
 
     def global_abort(self, txn_id: str, reason: str = "requested") -> None:
         """⟨abort, A⟩: finalize the abort across every involved object."""
@@ -612,19 +274,15 @@ class GlobalTransactionManager:
             raise ProtocolError(
                 "global_abort",
                 f"{txn_id!r} is {txn.state.value}, not aborting")
-        txn.transition(_TS.ABORTED)
-        txn.t_wait.clear()
-        txn.t_sleep = None
-        txn.end_time = now
-        txn.clear_all_temp()
-        self.detector.on_finished(txn_id)
-        touched = [self.object(name) for name in sorted(txn.involved)]
+        txn.finish(_TS.ABORTED, now)
+        self.deadlock_policy.on_finished(txn_id)
+        touched = self._involved_objects(txn)
         for obj in touched:
             obj.aborting.discard(txn_id)
-        self.observer.on_global_abort(txn, now, reason)
+        self.bus.on_global_abort(txn, now, reason)
         for obj in touched:
-            self._pump_deferred_commits(obj)
-            self._maybe_unlock(obj)
+            self.pipeline.pump_deferred(obj)
+            self.admission.pump_unlock(obj)
 
     def abort(self, txn_id: str, reason: str = "requested") -> None:
         """Convenience: local aborts on every involved object + global."""
@@ -639,57 +297,20 @@ class GlobalTransactionManager:
             txn.transition(_TS.ABORTING)
         self.global_abort(txn_id, reason=reason)
 
-    def _abort_from_committing(self, txn: GTMTransaction, now: float,
-                               reason: str) -> None:
-        """Abort path out of a failed SST (Committing -> Aborting -> Aborted)."""
-        for object_name in sorted(txn.involved):
-            obj = self.object(object_name)
-            if (obj.is_pending(txn.txn_id) or obj.is_waiting(txn.txn_id)
-                    or txn.txn_id in obj.committing):
-                self.local_abort(txn.txn_id, object_name)
-        if not txn.is_in(_TS.ABORTING):
-            txn.transition(_TS.ABORTING)
-        self.global_abort(txn.txn_id, reason=reason)
-
     # ------------------------------------------------------------------
-    # Algorithms 7 & 8 — ⟨sleep, X, A⟩ and ⟨sleep, A⟩
+    # Algorithms 7-10 — the sleep manager
     # ------------------------------------------------------------------
 
     def sleep(self, txn_id: str) -> None:
-        """⟨sleep, A⟩ followed by ⟨sleep, X, A⟩ for every involved X.
-
-        The "oracle Ξ" of Algorithm 8 is the caller: the mobile-client
-        emulation invokes this when a disconnection or inactivity period
-        begins.
-        """
+        """⟨sleep, A⟩ then ⟨sleep, X, A⟩ for every involved X.  The
+        "oracle Ξ" of Algorithm 8 is the caller (disconnection start)."""
         txn = self.transaction(txn_id)
-        now = self.now()
-        if not txn.is_in(_TS.ACTIVE, _TS.WAITING):
-            raise ProtocolError(
-                "sleep", f"{txn_id!r} is {txn.state.value}, not "
-                f"active/waiting")
-        txn.transition(_TS.SLEEPING)
-        txn.t_sleep = now
-        for object_name in sorted(txn.involved):
-            obj = self.object(object_name)
-            if obj.is_pending(txn_id) or obj.is_waiting(txn_id):
-                obj.sleeping.add(txn_id)   # Algorithm 7
-        self.observer.on_sleep(txn, now)
-        # a sleeping holder no longer blocks: waiters may proceed now.
-        for object_name in sorted(txn.involved):
-            self._maybe_unlock(self.object(object_name))
-
-    # ------------------------------------------------------------------
-    # Algorithms 9 & 10 — ⟨awake, X, A⟩ and ⟨awake, A⟩
-    # ------------------------------------------------------------------
+        self.sleep_manager.sleep(txn, self._involved_objects(txn),
+                                 self.now())
 
     def awake(self, txn_id: str) -> bool:
-        """⟨awake, X, A⟩ on every object, then ⟨awake, A⟩.
-
-        Returns True when the transaction survived (now Active), False
-        when conflicts during its sleep forced an abort (Algorithm 9,
-        third case).
-        """
+        """⟨awake, X, A⟩ on every object, then ⟨awake, A⟩.  True when A
+        survived (now Active); False when Algorithm 9 forced an abort."""
         txn = self.transaction(txn_id)
         now = self.now()
         if not txn.is_in(_TS.SLEEPING):
@@ -697,226 +318,24 @@ class GlobalTransactionManager:
                 "awake", f"{txn_id!r} is {txn.state.value}, not sleeping")
         if txn.t_sleep is None:
             raise ProtocolError("awake", f"{txn_id!r} has no sleep time")
-
-        conflicted = any(
-            self._sleep_conflicts(txn, self.object(name))
-            for name in sorted(txn.involved))
-
-        if conflicted:
-            # Algorithm 9, conflict case: straight to Aborted.
-            for object_name in sorted(txn.involved):
-                obj = self.object(object_name)
-                obj.clear_txn(txn_id)
-            txn.transition(_TS.ABORTED)
-            txn.t_sleep = None
-            txn.t_wait.clear()
-            txn.end_time = now
-            txn.clear_all_temp()
-            self.detector.on_finished(txn_id)
-            self.observer.on_awake(txn, now, survived=False)
-            self.observer.on_global_abort(txn, now, "sleep-conflict")
-            for object_name in sorted(txn.involved):
-                self._maybe_unlock(self.object(object_name))
+        involved = self._involved_objects(txn)
+        if self.sleep_manager.any_conflict(txn, involved):
+            self.sleep_manager.abort_conflicted(txn, involved, now)
             return False
-
-        for object_name in sorted(txn.involved):
-            obj = self.object(object_name)
-            if txn_id not in obj.sleeping:
-                continue
-            obj.sleeping.discard(txn_id)
-            entry = obj.waiting_entry(txn_id)
-            if entry is not None:
-                # Algorithm 9, case 1: grant immediately with fresh
-                # snapshots (the sleeper jumps the queue, per the paper).
-                obj.remove_waiting(txn_id)
-                self._grant(txn, obj, entry.invocation, now)
-        # Algorithm 10 — ⟨awake, A⟩.
-        txn.transition(_TS.ACTIVE)
-        txn.t_sleep = None
-        txn.t_wait.clear()
-        self.observer.on_awake(txn, now, survived=True)
+        self.sleep_manager.wake_survivor(txn, involved, now)
         return True
 
-    def _sleep_conflicts(self, txn: GTMTransaction,
-                         obj: ManagedObject) -> bool:
-        """Algorithm 9's conflict predicate for one object."""
-        own_ops = tuple(txn.operations.get(obj.name, {}).values())
-        if not own_ops:
-            return False
-        if txn.t_sleep is None:  # defensive; checked by caller
-            return False
-        holders = obj.holder_ops(exclude=txn.txn_id)
-        for ops in holders.values():
-            for own in own_ops:
-                if self.checker.conflicts_with_any(own, ops):
-                    return True
-        for record in obj.committed_after(txn.t_sleep):
-            if record.txn_id == txn.txn_id:
-                continue
-            for own in own_ops:
-                if self.checker.conflicts_with_any(own,
-                                                   record.invocations):
-                    return True
-        return False
-
     # ------------------------------------------------------------------
-    # Algorithm 11 — ⟨unlock, X⟩
+    # event-object dispatch and diagnostics
     # ------------------------------------------------------------------
 
-    def _maybe_unlock(self, obj: ManagedObject) -> tuple[str, ...]:
-        """Fire ⟨unlock, X⟩: grant waiters the lock set no longer blocks.
-
-        Algorithm 11's trigger is ``X_pending = ⊥``; with per-member
-        invocations the general condition is per waiter: an entry of
-        θ(X_waiting − X_sleeping) is grantable when it conflicts with no
-        operation of ``(pending − sleeping) ∪ committing`` (other
-        transactions) and none already granted in this batch.  The
-        grant-policy keeps the FIFO no-overtake discipline (a blocked
-        waiter blocks everything behind it); the starvation policies
-        reorder.  Granted transactions become Active with fresh
-        snapshots.
-        """
-        candidates = [entry for entry in obj.waiting
-                      if entry.txn_id not in obj.sleeping]
-        if not candidates:
-            return ()
-        holders = obj.holder_ops(include_sleeping=False)
-        batch = self.config.grant_policy.select(obj, candidates,
-                                                self.checker, self.now(),
-                                                holders)
-        granted: list[str] = []
-        now = self.now()
-        for entry in batch:
-            txn = self.transactions.get(entry.txn_id)
-            if txn is None or not txn.is_in(_TS.WAITING):
-                continue
-            if not self.config.throttle.admits(obj, entry.invocation):
-                continue
-            obj.remove_waiting(entry.txn_id)
-            txn.transition(_TS.ACTIVE)
-            txn.clear_wait(obj.name)
-            self._grant(txn, obj, entry.invocation, now)
-            granted.append(entry.txn_id)
-        if granted:
-            self.observer.on_unlock(obj, tuple(granted), now)
-        return tuple(granted)
-
-    # ------------------------------------------------------------------
-    # convenience drivers
-    # ------------------------------------------------------------------
-
-    def request_commit(self, txn_id: str) -> SSTReport | None:
-        """Local commit on every involved object, then global commit.
-
-        If any local commit is deferred (another committer active), the
-        transaction stays in Committing; call :meth:`try_finish_commit`
-        (or rely on the automatic pump) to complete it later.  Returns
-        the SST report when the commit completed now, else None.
-        """
-        txn = self.transaction(txn_id)
-        if not txn.is_in(_TS.ACTIVE, _TS.COMMITTING):
-            raise ProtocolError(
-                "request_commit",
-                f"{txn_id!r} is {txn.state.value}")
-        if txn.t_wait:
-            raise ProtocolError(
-                "request_commit",
-                f"{txn_id!r} is waiting for an invocation (constraint iii)")
-        all_staged = True
-        for object_name in sorted(txn.involved):
-            obj = self.object(object_name)
-            if txn_id in obj.committing:
-                continue
-            if obj.is_pending(txn_id):
-                if not self.local_commit(txn_id, object_name):
-                    all_staged = False
-        if not all_staged:
-            return None
-        return self.global_commit(txn_id)
-
-    def try_finish_commit(self, txn_id: str) -> SSTReport | None:
-        """Retry a commit left pending by deferred local commits."""
-        txn = self.transaction(txn_id)
-        if not txn.is_in(_TS.COMMITTING):
-            return None
-        return self.request_commit(txn_id)
-
-    def commit_ready(self, txn_id: str) -> bool:
-        """True when every involved object has A staged in X_committing."""
-        txn = self.transaction(txn_id)
-        if not txn.is_in(_TS.COMMITTING):
-            return False
-        return all(txn_id in self.object(name).committing
-                   for name in txn.involved)
-
-    def pump_commits(self) -> list[str]:
-        """Complete every transaction whose deferred commits have staged.
-
-        Deferred ⟨commit, X, A⟩ requests are replayed automatically when a
-        committer leaves an object, but the final ⟨commit, A⟩ needs a
-        driver; schedulers call this after each event.  Iterative (not
-        recursive) so a thousand queued committers on one hot object do
-        not exhaust the stack.  Returns the ids committed, in order.
-        """
-        completed: list[str] = []
-        progress = True
-        while progress:
-            progress = False
-            for txn_id, txn in list(self.transactions.items()):
-                if txn.is_in(_TS.COMMITTING) and self.commit_ready(txn_id):
-                    self.global_commit(txn_id)
-                    completed.append(txn_id)
-                    progress = True
-        return completed
-
-    # ------------------------------------------------------------------
-    # event-object dispatch
-    # ------------------------------------------------------------------
-
-    def dispatch(self, event: "GTMEvent") -> Any:
-        """Process one event object from :mod:`repro.core.events`.
-
-        Event-sourced drivers (e.g. replaying a recorded trace) can feed
-        the GTM the paper's ⟨...⟩ event vocabulary directly instead of
-        calling the per-algorithm methods.  Returns whatever the
-        underlying handler returns.
-        """
-        from repro.core import events as ev
-        if isinstance(event, ev.Begin):
-            return self.begin(event.txn_id)
-        if isinstance(event, ev.Invoke):
-            return self.invoke(event.txn_id, event.object_name,
-                               event.invocation)
-        if isinstance(event, ev.LocalCommit):
-            return self.local_commit(event.txn_id, event.object_name)
-        if isinstance(event, ev.GlobalCommit):
-            return self.global_commit(event.txn_id)
-        if isinstance(event, ev.LocalAbort):
-            return self.local_abort(event.txn_id, event.object_name)
-        if isinstance(event, ev.GlobalAbort):
-            return self.global_abort(event.txn_id)
-        if isinstance(event, (ev.LocalSleep, ev.GlobalSleep)):
-            # the driver-facing sleep covers both granularities
-            txn = self.transaction(event.txn_id)
-            if not txn.is_in(_TS.SLEEPING):
-                return self.sleep(event.txn_id)
-            return None
-        if isinstance(event, (ev.LocalAwake, ev.GlobalAwake)):
-            txn = self.transaction(event.txn_id)
-            if txn.is_in(_TS.SLEEPING):
-                return self.awake(event.txn_id)
-            return None
-        if isinstance(event, ev.Unlock):
-            return self._maybe_unlock(self.object(event.object_name))
-        raise GTMError(f"unknown GTM event {event!r}")
-
-    # ------------------------------------------------------------------
-    # diagnostics
-    # ------------------------------------------------------------------
+    def dispatch(self, event: GTMEvent) -> Any:
+        """Process one ⟨...⟩ event object from :mod:`repro.core.events`."""
+        return dispatch_event(self, event)
 
     def check_invariants(self) -> None:
         """Cross-object structural invariants (used by property tests)."""
-        for obj in self.objects.values():
+        for obj in self.lock_table.values():
             obj.check_invariants()
         for txn in self.transactions.values():
             if txn.is_in(_TS.WAITING) and not txn.t_wait:
@@ -930,5 +349,5 @@ class GlobalTransactionManager:
         states: dict[str, int] = {}
         for txn in self.transactions.values():
             states[txn.state.value] = states.get(txn.state.value, 0) + 1
-        return (f"<GlobalTransactionManager objects={len(self.objects)} "
+        return (f"<GlobalTransactionManager objects={len(self.lock_table)} "
                 f"transactions={states}>")

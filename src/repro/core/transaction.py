@@ -87,6 +87,15 @@ class GTMTransaction:
         else:
             self.t_wait.pop(object_name, None)
 
+    def finish(self, target: TransactionState, now: float) -> None:
+        """Terminal bookkeeping shared by the commit and abort paths:
+        transition, clear A_t_wait / A_t_sleep / A_temp, stamp end_time."""
+        self.transition(target)
+        self.t_wait.clear()
+        self.t_sleep = None
+        self.end_time = now
+        self.clear_all_temp()
+
     def __repr__(self) -> str:
         return (f"<GTMTransaction {self.txn_id!r} {self.state.value} "
                 f"objects={sorted(self.involved)}>")

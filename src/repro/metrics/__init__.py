@@ -1,6 +1,10 @@
 """Metrics: per-transaction timelines, aggregates, and text reports."""
 
-from repro.metrics.collectors import MetricsCollector, TxnTimeline
+from repro.metrics.collectors import (
+    MetricsCollector,
+    TimelineObserver,
+    TxnTimeline,
+)
 from repro.metrics.stats import RunStats, summarize
 from repro.metrics.report import render_table
 from repro.metrics.trace import render_gantt
@@ -8,6 +12,7 @@ from repro.metrics.trace import render_gantt
 __all__ = [
     "MetricsCollector",
     "RunStats",
+    "TimelineObserver",
     "TxnTimeline",
     "render_gantt",
     "render_table",

@@ -4,6 +4,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.events import GTMObserver
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.objects import ManagedObject
+    from repro.core.opclass import Invocation
+    from repro.core.transaction import GTMTransaction
 
 
 class Outcome(enum.Enum):
@@ -110,3 +118,72 @@ class MetricsCollector:
 
     def __len__(self) -> int:
         return len(self.timelines)
+
+
+class TimelineObserver(GTMObserver):
+    """Builds timelines straight from the GTM's event bus.
+
+    Subscribe one to :meth:`GlobalTransactionManager.subscribe` and the
+    collector fills itself — schedulers no longer do any manual timeline
+    bookkeeping.  Virtual timestamps match the client-visible ones: the
+    simulation schedulers resume clients at ``now + 0``, so bus-side and
+    client-side clocks agree.
+    """
+
+    def __init__(self, collector: MetricsCollector) -> None:
+        self.collector = collector
+
+    def _timeline(self, txn_id: str) -> TxnTimeline | None:
+        return self.collector.timelines.get(txn_id)
+
+    def on_begin(self, txn: "GTMTransaction", now: float) -> None:
+        self.collector.arrival(txn.txn_id, now)
+
+    def on_wait(self, txn: "GTMTransaction", obj: "ManagedObject",
+                invocation: "Invocation", now: float) -> None:
+        timeline = self._timeline(txn.txn_id)
+        if timeline is not None:
+            timeline.on_wait_start(now)
+
+    def on_grant(self, txn: "GTMTransaction", obj: "ManagedObject",
+                 invocation: "Invocation", now: float) -> None:
+        timeline = self._timeline(txn.txn_id)
+        if timeline is None:
+            return
+        timeline.on_wait_end(now)
+        if timeline.first_grant is None:
+            timeline.first_grant = now
+
+    def on_local_commit(self, txn: "GTMTransaction", obj: "ManagedObject",
+                        now: float) -> None:
+        timeline = self._timeline(txn.txn_id)
+        if timeline is not None and timeline.commit_requested is None:
+            timeline.commit_requested = now
+
+    def on_commit_deferred(self, txn: "GTMTransaction",
+                           obj: "ManagedObject", now: float) -> None:
+        timeline = self._timeline(txn.txn_id)
+        if timeline is not None and timeline.commit_requested is None:
+            timeline.commit_requested = now
+
+    def on_sleep(self, txn: "GTMTransaction", now: float) -> None:
+        timeline = self._timeline(txn.txn_id)
+        if timeline is not None:
+            timeline.on_sleep_start(now)
+
+    def on_awake(self, txn: "GTMTransaction", now: float,
+                 survived: bool) -> None:
+        timeline = self._timeline(txn.txn_id)
+        if timeline is not None:
+            timeline.on_sleep_end(now)
+
+    def on_global_commit(self, txn: "GTMTransaction", now: float) -> None:
+        timeline = self._timeline(txn.txn_id)
+        if timeline is not None and timeline.outcome is Outcome.UNFINISHED:
+            timeline.on_commit(now)
+
+    def on_global_abort(self, txn: "GTMTransaction", now: float,
+                        reason: str) -> None:
+        timeline = self._timeline(txn.txn_id)
+        if timeline is not None and timeline.outcome is Outcome.UNFINISHED:
+            timeline.on_abort(now, reason)

@@ -16,6 +16,11 @@ itinerary (invoke / work / sleep / commit) against a shared
 Observer callbacks never resume processes synchronously: they schedule
 signal fires at ``now + 0`` so the GTM's own event handling finishes
 before any client reacts (no re-entrancy).
+
+Metrics are not collected here: a
+:class:`~repro.metrics.collectors.TimelineObserver` subscribed to the
+GTM's event bus builds every timeline, so the client processes contain
+only protocol driving.
 """
 
 from __future__ import annotations
@@ -35,7 +40,7 @@ from repro.core.opclass import Invocation
 from repro.core.sst import SSTExecutor
 from repro.core.states import TransactionState
 from repro.core.transaction import GTMTransaction
-from repro.metrics.collectors import MetricsCollector
+from repro.metrics.collectors import MetricsCollector, TimelineObserver
 from repro.schedulers.base import (
     CommitAction,
     InvokeAction,
@@ -65,12 +70,10 @@ class GTMSchedulerConfig:
 
 
 class _SignallingObserver(GTMObserver):
-    """Relays GTM events to per-transaction signals and the metrics."""
+    """Relays GTM events to per-transaction simulation signals."""
 
-    def __init__(self, engine: SimulationEngine,
-                 collector: MetricsCollector) -> None:
+    def __init__(self, engine: SimulationEngine) -> None:
         self.engine = engine
-        self.collector = collector
         self.wake_signals: dict[str, Signal] = {}
         #: fired (deferred) after every global commit/abort: commit-slot
         #: waiters and grant retries piggyback on it.
@@ -93,12 +96,6 @@ class _SignallingObserver(GTMObserver):
     def on_grant(self, txn: GTMTransaction, obj: ManagedObject,
                  invocation: Invocation, now: float) -> None:
         self._fire_later(self.signal_for(txn.txn_id), ("grant", obj.name))
-
-    def on_wait(self, txn: GTMTransaction, obj: ManagedObject,
-                invocation: Invocation, now: float) -> None:
-        timeline = self.collector.timelines.get(txn.txn_id)
-        if timeline is not None:
-            timeline.on_wait_start(now)
 
     def on_global_commit(self, txn: GTMTransaction, now: float) -> None:
         self._fire_later(self.commit_slot, ("commit", txn.txn_id))
@@ -123,19 +120,20 @@ class GTMScheduler(Scheduler):
     def run(self, workload: Workload) -> SchedulerResult:
         engine = SimulationEngine()
         collector = MetricsCollector()
-        observer = _SignallingObserver(engine, collector)
+        observer = _SignallingObserver(engine)
         gtm = GlobalTransactionManager(
             config=self.config.gtm_config,
             clock=lambda: engine.now,
             sst_executor=self.config.sst_executor,
             observer=observer,
         )
+        gtm.subscribe(TimelineObserver(collector))
         for name, value in workload.initial_values.items():
             gtm.create_object(name, value=value,
                               binding=self.config.bindings.get(name))
         self.last_gtm = gtm
         for profile in workload:
-            body = self._client(profile, gtm, observer, collector)
+            body = self._client(profile, gtm, observer)
             Process(engine, body, name=profile.txn_id,
                     start_delay=profile.arrival_time)
         makespan = engine.run()
@@ -154,16 +152,9 @@ class GTMScheduler(Scheduler):
 
     def _client(self, profile: TransactionProfile,
                 gtm: GlobalTransactionManager,
-                observer: _SignallingObserver,
-                collector: MetricsCollector) -> Generator[Any, Any, None]:
+                observer: _SignallingObserver) -> Generator[Any, Any, None]:
         txn_id = profile.txn_id
-        timeline = collector.arrival(txn_id, 0.0)  # arrival set below
         wake = observer.signal_for(txn_id)
-
-        def now() -> float:
-            return gtm.now()
-
-        timeline.arrival = now()
         gtm.begin(txn_id, priority=profile.priority)
         for action in build_itinerary(profile):
             if isinstance(action, InvokeAction):
@@ -172,58 +163,46 @@ class GTMScheduler(Scheduler):
                 if outcome == GrantOutcome.ABORTED:
                     # the request closed a wait-for cycle and this
                     # transaction was the chosen victim
-                    timeline.on_abort(now(), reason="deadlock-victim")
                     return
                 if outcome == GrantOutcome.QUEUED:
-                    granted = yield from self._await_grant(
-                        txn_id, gtm, wake, timeline)
+                    granted = yield from self._await_grant(txn_id, gtm, wake)
                     if not granted:
                         return
-                timeline.on_wait_end(now())
                 gtm.apply(txn_id, action.step.object_name,
                           action.step.invocation)
             elif isinstance(action, WorkAction):
                 yield Timeout(action.duration)
             elif isinstance(action, SleepAction):
                 gtm.sleep(txn_id)
-                timeline.on_sleep_start(now())
                 yield Timeout(action.duration)
-                timeline.on_sleep_end(now())
                 if not gtm.awake(txn_id):
-                    timeline.on_abort(now(), reason="sleep-conflict")
+                    # conflicts during the sleep: aborted (Algorithm 9)
                     return
             elif isinstance(action, CommitAction):
-                committed = yield from self._commit(txn_id, gtm, observer,
-                                                    timeline)
-                if committed:
-                    timeline.on_commit(now())
+                yield from self._commit(txn_id, gtm, observer)
                 return
 
     def _await_grant(self, txn_id: str, gtm: GlobalTransactionManager,
-                     wake: Any, timeline: Any) -> Generator[Any, Any, bool]:
+                     wake: Any) -> Generator[Any, Any, bool]:
         """Wait until granted; handles timeout-abort and external abort."""
         while True:
             payload = yield WaitEvent(wake, timeout=self.config.wait_timeout)
             if payload is WaitEvent.TIMED_OUT:
                 gtm.abort(txn_id, reason="wait-timeout")
-                timeline.on_abort(gtm.now(), reason="wait-timeout")
                 return False
             kind = payload[0] if isinstance(payload, tuple) else payload
             if kind == "grant":
                 return True
             if kind == "aborted":
-                timeline.on_abort(gtm.now(), reason=str(payload[1]))
                 return False
 
     def _commit(self, txn_id: str, gtm: GlobalTransactionManager,
-                observer: _SignallingObserver,
-                timeline: Any) -> Generator[Any, Any, bool]:
+                observer: _SignallingObserver) -> Generator[Any, Any, bool]:
         """Drive the commit to completion, retrying deferred staging."""
         try:
             report = gtm.request_commit(txn_id)
-        except SSTFailure as failure:
-            timeline.on_abort(gtm.now(), reason=failure.reason)
-            return False
+        except SSTFailure:
+            return False  # the GTM already aborted and reported it
         if report is not None or gtm.transaction(txn_id).is_in(
                 TransactionState.COMMITTED):
             return True
@@ -234,7 +213,6 @@ class GTMScheduler(Scheduler):
                 break
             try:
                 gtm.try_finish_commit(txn_id)
-            except SSTFailure as failure:
-                timeline.on_abort(gtm.now(), reason=failure.reason)
+            except SSTFailure:
                 return False
         return gtm.transaction(txn_id).is_in(TransactionState.COMMITTED)

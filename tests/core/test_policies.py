@@ -1,0 +1,130 @@
+"""Tests for the pluggable deadlock policies (Section VII policing)."""
+
+from repro.core.gtm import GlobalTransactionManager, GTMConfig, GrantOutcome
+from repro.core.policies import (
+    NoDeadlockPolicy,
+    WaitDiePolicy,
+    WaitForGraphPolicy,
+    WoundWaitPolicy,
+    build_deadlock_policy,
+)
+from repro.core.opclass import assign
+from repro.core.states import TransactionState
+from repro.ldbs.deadlock import VictimPolicy
+
+_S = TransactionState
+
+
+def make_gtm(policy) -> GlobalTransactionManager:
+    gtm = GlobalTransactionManager(
+        config=GTMConfig(deadlock_policy=policy))
+    gtm.create_object("X", value=100)
+    gtm.create_object("Y", value=100)
+    return gtm
+
+
+def build_cycle(gtm) -> str:
+    """A (older) holds X, waits on Y; B (younger) holds Y, requests X."""
+    gtm.begin("A")
+    gtm.begin("B")
+    assert gtm.invoke("A", "X", assign(1)) == GrantOutcome.GRANTED
+    assert gtm.invoke("B", "Y", assign(2)) == GrantOutcome.GRANTED
+    gtm.invoke("A", "Y", assign(1))
+    return gtm.invoke("B", "X", assign(2))
+
+
+class TestWoundWait:
+    def test_older_waiter_wounds_younger_holder(self):
+        gtm = make_gtm(WoundWaitPolicy())
+        gtm.begin("old")
+        gtm.begin("young")
+        gtm.invoke("young", "X", assign(2))
+        # the older transaction wounds the younger holder and is granted
+        assert gtm.invoke("old", "X", assign(1)) == GrantOutcome.GRANTED
+        assert gtm.transaction("young").state is _S.ABORTED
+        assert gtm.deadlocks_detected == 1
+
+    def test_younger_waiter_waits_behind_older_holder(self):
+        gtm = make_gtm(WoundWaitPolicy())
+        gtm.begin("old")
+        gtm.begin("young")
+        gtm.invoke("old", "X", assign(1))
+        assert gtm.invoke("young", "X", assign(2)) == GrantOutcome.QUEUED
+        assert gtm.transaction("young").state is _S.WAITING
+
+    def test_cycle_never_forms(self):
+        """A's wait wounds the younger holder, so no cycle can close."""
+        gtm = make_gtm(WoundWaitPolicy())
+        gtm.begin("A")
+        gtm.begin("B")
+        gtm.invoke("A", "X", assign(1))
+        gtm.invoke("B", "Y", assign(2))
+        # A (older) requests Y: wounds the younger holder B and inherits
+        # the object through the unlock pump.
+        assert gtm.invoke("A", "Y", assign(1)) == GrantOutcome.GRANTED
+        assert gtm.transaction("B").state is _S.ABORTED
+        assert gtm.deadlocks_detected == 1
+
+    def test_committing_blocker_never_wounded(self):
+        gtm = make_gtm(WoundWaitPolicy())
+        gtm.begin("old")
+        gtm.begin("young")
+        gtm.invoke("young", "X", assign(2))
+        gtm.apply("young", "X", assign(2))
+        gtm.local_commit("young", "X")      # young is now Committing
+        assert gtm.invoke("old", "X", assign(1)) == GrantOutcome.QUEUED
+        assert gtm.transaction("young").state is _S.COMMITTING
+
+
+class TestWaitDie:
+    def test_younger_waiter_dies(self):
+        gtm = make_gtm(WaitDiePolicy())
+        gtm.begin("old")
+        gtm.begin("young")
+        gtm.invoke("old", "X", assign(1))
+        assert gtm.invoke("young", "X", assign(2)) == GrantOutcome.ABORTED
+        assert gtm.transaction("young").state is _S.ABORTED
+        assert gtm.transaction("old").state is _S.ACTIVE
+
+    def test_older_waiter_allowed_to_wait(self):
+        gtm = make_gtm(WaitDiePolicy())
+        gtm.begin("old")
+        gtm.begin("young")
+        gtm.invoke("young", "X", assign(2))
+        assert gtm.invoke("old", "X", assign(1)) == GrantOutcome.QUEUED
+        assert gtm.transaction("old").state is _S.WAITING
+        assert gtm.transaction("young").state is _S.ACTIVE
+
+    def test_cycle_broken_by_dying_younger(self):
+        gtm = make_gtm(WaitDiePolicy())
+        outcome = build_cycle(gtm)
+        assert outcome == GrantOutcome.ABORTED
+        assert gtm.transaction("B").state is _S.ABORTED
+        # A inherits Y through the unlock pump
+        assert gtm.object("Y").is_pending("A")
+
+
+class TestNoPolicy:
+    def test_cycle_left_standing(self):
+        gtm = make_gtm(NoDeadlockPolicy())
+        outcome = build_cycle(gtm)
+        assert outcome == GrantOutcome.QUEUED
+        assert gtm.transaction("A").state is _S.WAITING
+        assert gtm.transaction("B").state is _S.WAITING
+        assert gtm.deadlocks_detected == 0
+
+
+class TestBuildPolicy:
+    def test_legacy_knobs_map_to_policies(self):
+        assert isinstance(build_deadlock_policy(False,
+                                                VictimPolicy.YOUNGEST),
+                          NoDeadlockPolicy)
+        policy = build_deadlock_policy(True, VictimPolicy.OLDEST)
+        assert isinstance(policy, WaitForGraphPolicy)
+
+    def test_explicit_policy_overrides_legacy_knobs(self):
+        policy = WoundWaitPolicy()
+        gtm = GlobalTransactionManager(
+            config=GTMConfig(deadlock_detection=False,
+                             deadlock_policy=policy))
+        assert gtm.deadlock_policy is policy

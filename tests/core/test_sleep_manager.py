@@ -1,0 +1,130 @@
+"""Tests for the sleep manager: Algorithm 9 awakening edge cases."""
+
+from repro.core.gtm import GlobalTransactionManager
+from repro.core.opclass import add, assign, read, subtract
+from repro.core.states import TransactionState
+
+_S = TransactionState
+
+
+def make_gtm(value=100):
+    gtm = GlobalTransactionManager()
+    gtm.create_object("X", value=value)
+    return gtm
+
+
+class TestAwakeningSurvival:
+    def test_sleeper_survives_compatible_commit(self):
+        """Additive commits during the sleep do not conflict with add."""
+        gtm = make_gtm()
+        gtm.begin("sleeper")
+        gtm.begin("other")
+        gtm.invoke("sleeper", "X", add(1))
+        gtm.sleep("sleeper")
+        gtm.invoke("other", "X", add(5))
+        gtm.apply("other", "X", add(5))
+        gtm.request_commit("other")
+        assert gtm.awake("sleeper") is True
+        assert gtm.transaction("sleeper").state is _S.ACTIVE
+
+    def test_sleeper_aborts_on_conflicting_commit(self):
+        """X_tc > A_t_sleep with an incompatible class: Algorithm 9 aborts."""
+        gtm = make_gtm()
+        gtm.begin("sleeper")
+        gtm.begin("writer")
+        gtm.invoke("sleeper", "X", subtract(1))
+        gtm.sleep("sleeper")
+        gtm.invoke("writer", "X", assign(0))   # overtakes the sleeper
+        gtm.apply("writer", "X", assign(0))
+        gtm.request_commit("writer")
+        assert gtm.awake("sleeper") is False
+        assert gtm.transaction("sleeper").state is _S.ABORTED
+
+    def test_sleeper_aborts_on_conflicting_current_holder(self):
+        """A conflicting grant that has NOT committed yet also kills."""
+        gtm = make_gtm()
+        gtm.begin("sleeper")
+        gtm.begin("writer")
+        gtm.invoke("sleeper", "X", subtract(1))
+        gtm.sleep("sleeper")
+        gtm.invoke("writer", "X", assign(0))   # granted, still pending
+        assert gtm.awake("sleeper") is False
+
+    def test_commit_before_sleep_does_not_count(self):
+        """Only commits with X_tc > A_t_sleep matter."""
+        gtm = make_gtm()
+        gtm.begin("writer")
+        gtm.invoke("writer", "X", assign(7))
+        gtm.apply("writer", "X", assign(7))
+        gtm.request_commit("writer")           # commits BEFORE the sleep
+        gtm.begin("sleeper")
+        gtm.invoke("sleeper", "X", subtract(1))
+        gtm.sleep("sleeper")
+        assert gtm.awake("sleeper") is True
+
+    def test_sleeper_with_no_operations_survives(self):
+        """A transaction that slept before any invocation wakes cleanly."""
+        gtm = make_gtm()
+        gtm.begin("idler")
+        gtm.sleep("idler")
+        assert gtm.awake("idler") is True
+        assert gtm.transaction("idler").state is _S.ACTIVE
+
+
+class TestSleeperOvertaking:
+    def test_waiter_overtakes_sleeping_holder(self):
+        """A sleeper leaves the effective lock set (pending − sleeping)."""
+        gtm = make_gtm()
+        gtm.begin("holder")
+        gtm.begin("waiter")
+        gtm.invoke("holder", "X", assign(1))
+        gtm.invoke("waiter", "X", assign(2))   # queued behind the holder
+        gtm.sleep("holder")
+        # the sleep pumped ⟨unlock, X⟩: the waiter got its grant
+        assert gtm.object("X").is_pending("waiter")
+        assert gtm.transaction("waiter").state is _S.ACTIVE
+
+    def test_own_commit_does_not_kill_sleeper(self):
+        """The sleeper's own committed record is skipped by Algorithm 9."""
+        gtm = make_gtm()
+        gtm.begin("sleeper")
+        gtm.invoke("sleeper", "X", read())
+        gtm.sleep("sleeper")
+        assert gtm.awake("sleeper") is True
+
+
+class TestQueueJumpRegrant:
+    def test_sleeping_waiter_regranted_on_awake(self):
+        """Algorithm 9 case 1: a surviving queued sleeper jumps the queue."""
+        gtm = make_gtm()
+        gtm.begin("holder")
+        gtm.begin("sleeper")
+        gtm.invoke("holder", "X", add(1))
+        gtm.invoke("sleeper", "X", add(2))     # compatible -> granted
+        gtm.begin("blocked")
+        gtm.invoke("blocked", "X", assign(0))  # waits on both adders
+        gtm.sleep("sleeper")
+        # holder commits; 'blocked' still blocked by... nothing? holder
+        # gone and sleeper sleeping -> blocked is granted, so re-awakening
+        # the sleeper must now detect the conflict with 'blocked'.
+        gtm.apply("holder", "X", add(1))
+        gtm.request_commit("holder")
+        assert gtm.object("X").is_pending("blocked")
+        assert gtm.awake("sleeper") is False
+
+    def test_fresh_snapshot_after_surviving_wake(self):
+        """A re-granted sleeper reconciles from awake-time values."""
+        gtm = make_gtm(100)
+        gtm.begin("sleeper")
+        gtm.begin("adder")
+        gtm.invoke("sleeper", "X", add(1))
+        gtm.apply("sleeper", "X", add(1))
+        gtm.sleep("sleeper")
+        gtm.invoke("adder", "X", add(10))
+        gtm.apply("adder", "X", add(10))
+        gtm.request_commit("adder")            # 100 -> 110 while asleep
+        assert gtm.awake("sleeper") is True
+        gtm.request_commit("sleeper")
+        gtm.pump_commits()
+        # additive reconciliation folds the sleeper's +1 onto 110
+        assert gtm.object("X").permanent_value() == 111
