@@ -1,0 +1,55 @@
+"""Correctness checking: seeded stress fuzzing + serializability oracle.
+
+``python -m repro.check --seed 42 --episodes 1000 --scheduler gtm``
+drives random multi-transaction episodes through a scheduler, then
+verdicts every run with the final-state serializability oracle
+(:mod:`repro.check.oracle`) and the structural invariant suite
+(:mod:`repro.check.invariants`).  Failures are minimized by the
+delta-debugging shrinker (:mod:`repro.check.shrinker`) into ready-to-
+paste regression tests.  See ``docs/CHECKING.md``.
+"""
+
+from repro.check.fuzzer import (
+    EpisodeSpec,
+    FuzzConfig,
+    OpSpec,
+    TxnSpec,
+    episode_workload,
+    generate_episode,
+)
+from repro.check.invariants import check_episode_invariants
+from repro.check.oracle import (
+    OracleReport,
+    RecordedEpisode,
+    check_episode,
+    record_baseline,
+    record_gtm,
+)
+from repro.check.runner import (
+    CampaignReport,
+    EpisodeOutcome,
+    run_campaign,
+    run_episode,
+)
+from repro.check.shrinker import render_regression_test, shrink_episode
+
+__all__ = [
+    "CampaignReport",
+    "EpisodeOutcome",
+    "EpisodeSpec",
+    "FuzzConfig",
+    "OpSpec",
+    "OracleReport",
+    "RecordedEpisode",
+    "TxnSpec",
+    "check_episode",
+    "check_episode_invariants",
+    "episode_workload",
+    "generate_episode",
+    "record_baseline",
+    "record_gtm",
+    "render_regression_test",
+    "run_campaign",
+    "run_episode",
+    "shrink_episode",
+]

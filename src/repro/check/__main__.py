@@ -1,0 +1,113 @@
+"""CLI for the stress harness: ``python -m repro.check``.
+
+Examples::
+
+    python -m repro.check --seed 42 --episodes 1000 --scheduler gtm
+    python -m repro.check --scheduler all --episodes 200
+    python -m repro.check --seed 7 --episodes 500 --trace-dir traces \\
+        --emit-test tests/check/test_regression_auto.py
+
+Exit status 0 = every episode passed the serializability oracle and
+the invariant suite; 1 = at least one failure (the minimized episode
+and its regression test are printed / written).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.check.fuzzer import SCHEDULER_NAMES, FuzzConfig
+from repro.check.runner import CampaignReport, run_campaign
+from repro.metrics.trace import write_episode_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Seeded stress fuzzing with a serializability "
+                    "oracle and structural invariant checks.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
+    parser.add_argument("--episodes", type=int, default=100,
+                        help="episodes per scheduler (default 100)")
+    parser.add_argument("--scheduler", default="gtm",
+                        choices=SCHEDULER_NAMES + ("all",),
+                        help="scheduler under test (default gtm)")
+    parser.add_argument("--max-txns", type=int, default=5,
+                        help="max transactions per episode (default 5)")
+    parser.add_argument("--max-objects", type=int, default=3,
+                        help="max objects per episode (default 3)")
+    parser.add_argument("--max-failures", type=int, default=1,
+                        help="stop a campaign after this many failures")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip minimizing failing episodes")
+    parser.add_argument("--emit-test", metavar="FILE",
+                        help="write the generated regression test here")
+    parser.add_argument("--trace-dir", metavar="DIR",
+                        help="dump JSON episode traces of failures here")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only print campaign summaries")
+    return parser
+
+
+def _report_failures(report: CampaignReport,
+                     args: argparse.Namespace) -> None:
+    for outcome in report.failures:
+        print()
+        print(outcome.summary())
+        if args.trace_dir and outcome.result is not None:
+            trace_name = (f"episode-{report.config.scheduler}"
+                          f"-{outcome.spec.index}.json")
+            path = write_episode_trace(
+                Path(args.trace_dir) / trace_name, outcome.result,
+                description=outcome.spec.describe())
+            print(f"trace written to {path}")
+    if report.shrunk is not None:
+        print()
+        print(f"minimized: {report.shrunk.describe()}")
+        print(f"  {report.shrunk!r}")
+    if report.regression_test:
+        if args.emit_test:
+            target = Path(args.emit_test)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(report.regression_test, encoding="utf-8")
+            print(f"regression test written to {target}")
+        else:
+            print()
+            print("--- ready-to-paste regression test ---")
+            print(report.regression_test)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    schedulers = (list(SCHEDULER_NAMES) if args.scheduler == "all"
+                  else [args.scheduler])
+    exit_code = 0
+    for scheduler in schedulers:
+        config = FuzzConfig(scheduler=scheduler,
+                            max_txns=args.max_txns,
+                            max_objects=args.max_objects)
+        progress = None
+        if not args.quiet:
+            def progress(index: int, outcome: object,
+                         _total: int = args.episodes,
+                         _name: str = scheduler) -> None:
+                done = index + 1
+                if done % 100 == 0 or done == _total:
+                    print(f"[{_name}] {done}/{_total} episodes",
+                          file=sys.stderr)
+        report = run_campaign(config, args.seed, args.episodes,
+                              max_failures=args.max_failures,
+                              shrink_failures=not args.no_shrink,
+                              progress=progress)
+        print(report.summary())
+        if not report.ok:
+            exit_code = 1
+            _report_failures(report, args)
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

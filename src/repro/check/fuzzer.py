@@ -1,0 +1,256 @@
+"""Seeded deterministic workload fuzzer for the stress harness.
+
+Randomness lives *only* here: :func:`generate_episode` draws a fully
+concrete :class:`EpisodeSpec` from ``(config, seed, index)`` using a
+dedicated ``numpy`` bit stream, and everything downstream (the runner,
+the oracle, the shrinker) is rng-free.  The same triple always produces
+the same spec, so a failing episode replays bit-identically and the
+shrinker can re-run candidate sub-episodes as pure functions.
+
+Design constraints baked into the generator:
+
+- every spec field is a builtin Python scalar or a (nested) tuple of
+  them, so ``repr(spec)`` is valid Python — the shrinker pastes it
+  straight into a generated regression test;
+- a transaction invokes at most one operation per (object, member)
+  pair, matching the protocol's "at most one pending invocation of a
+  single object data member" rule;
+- members are partitioned into *additive* and *multiplicative* domains:
+  multiplicative members only ever see positive assignments (>= 10) and
+  positive factors, so a MULDIV reconciliation never divides by zero
+  and the episode cannot crash for arithmetic reasons the paper's
+  protocol does not cover;
+- multi-member objects are generated only for the GTM scheduler — the
+  2PL / optimistic baselines model one scalar per resource.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+from typing import Any
+
+import numpy as np
+
+from repro.core.opclass import Invocation, add, assign, multiply, read
+from repro.errors import WorkloadError
+from repro.mobile.network import DisconnectionEvent
+from repro.mobile.session import SessionPlan
+from repro.workload.spec import TransactionProfile, TransactionStep, Workload
+
+#: Operation kinds the fuzzer emits (INSERT/DELETE are exercised by the
+#: directed protocol tests; the stress harness probes the update mix).
+OP_KINDS = ("read", "add", "mul", "assign")
+
+SCHEDULER_NAMES = ("gtm", "2pl", "optimistic")
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One concrete operation of a fuzzed transaction."""
+
+    object_name: str
+    member: str
+    op: str  # one of OP_KINDS
+    operand: float | int | None = None
+    #: False = obtain the grant / lock but never perform the operation
+    #: ("browsed, did not buy"); must commit as a no-op.
+    apply_op: bool = True
+
+    def invocation(self) -> Invocation:
+        if self.op == "read":
+            return read(self.member)
+        if self.op == "add":
+            return add(self.operand, self.member)
+        if self.op == "mul":
+            return multiply(self.operand, self.member)
+        if self.op == "assign":
+            return assign(self.operand, self.member)
+        raise WorkloadError(f"unknown fuzz op kind {self.op!r}")
+
+
+@dataclass(frozen=True)
+class TxnSpec:
+    """One concrete transaction of a fuzzed episode."""
+
+    txn_id: str
+    arrival: float
+    ops: tuple[OpSpec, ...]
+    work_time: float = 1.0
+    #: (at_fraction, duration) disconnections within the work time.
+    outages: tuple[tuple[float, float], ...] = ()
+    priority: int = 0
+
+
+@dataclass(frozen=True)
+class EpisodeSpec:
+    """A fully concrete, reproducible multi-transaction episode."""
+
+    scheduler: str
+    #: (object name, ((member, initial value), ...)) pairs.
+    objects: tuple[tuple[str, tuple[tuple[str, Any], ...]], ...]
+    txns: tuple[TxnSpec, ...]
+    #: Scheduler-level lock-wait timeout (None = wait forever).
+    wait_timeout: float | None = None
+    #: Provenance: the (seed, index) pair that generated this episode.
+    seed: int = 0
+    index: int = 0
+
+    def describe(self) -> str:
+        ops = sum(len(t.ops) for t in self.txns)
+        return (f"episode {self.index} (seed {self.seed}, "
+                f"{self.scheduler}): {len(self.txns)} txns, "
+                f"{len(self.objects)} objects, {ops} ops")
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs of the episode generator (all probabilities in [0, 1])."""
+
+    scheduler: str = "gtm"
+    max_objects: int = 3
+    #: Members per multi-member object (GTM only; baselines always 1).
+    max_members: int = 3
+    max_txns: int = 5
+    max_ops_per_txn: int = 3
+    #: Probability an object is multi-member (GTM only).
+    p_multi_member: float = 0.4
+    #: Probability a member lives in the multiplicative domain.
+    p_multiplicative: float = 0.3
+    p_read: float = 0.2
+    #: Among updates: probability of an assignment (else add/mul).
+    p_assign: float = 0.25
+    #: Probability an update step is granted but never applied.
+    p_skip_apply: float = 0.12
+    p_outage: float = 0.3
+    p_wait_timeout: float = 0.25
+    #: Arrivals are drawn uniformly from [0, arrival_spread] seconds.
+    arrival_spread: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in SCHEDULER_NAMES:
+            raise WorkloadError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"expected one of {SCHEDULER_NAMES}")
+
+
+def generate_episode(config: FuzzConfig, seed: int,
+                     index: int) -> EpisodeSpec:
+    """Draw episode ``index`` of the campaign ``(config, seed)``.
+
+    The bit stream is keyed by (seed, scheduler, index), so episodes are
+    independent of each other and of how many were generated before.
+    """
+    key = zlib.crc32(config.scheduler.encode("utf-8"))
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=int(seed),
+                               spawn_key=(key, int(index))))
+    multi_member = config.scheduler == "gtm" and config.max_members > 1
+
+    objects: list[tuple[str, tuple[tuple[str, Any], ...]]] = []
+    domains: dict[tuple[str, str], str] = {}  # (object, member) -> domain
+    n_objects = int(rng.integers(1, config.max_objects + 1))
+    for i in range(n_objects):
+        name = f"X{i}"
+        if multi_member and rng.random() < config.p_multi_member:
+            n_members = int(rng.integers(2, config.max_members + 1))
+            member_names = tuple(f"m{j}" for j in range(n_members))
+        else:
+            member_names = ("value",)
+        members = []
+        for member in member_names:
+            if rng.random() < config.p_multiplicative:
+                domains[(name, member)] = "mul"
+                initial = int(rng.integers(2, 7)) * 10
+            else:
+                domains[(name, member)] = "add"
+                initial = int(rng.integers(50, 151))
+            members.append((member, initial))
+        objects.append((name, tuple(members)))
+
+    universe = list(domains)
+    txns: list[TxnSpec] = []
+    n_txns = int(rng.integers(2, config.max_txns + 1))
+    for t in range(n_txns):
+        max_ops = min(config.max_ops_per_txn, len(universe))
+        n_ops = int(rng.integers(1, max_ops + 1))
+        picks = rng.choice(len(universe), size=n_ops, replace=False)
+        ops = []
+        for k in picks:
+            object_name, member = universe[int(k)]
+            ops.append(_draw_op(rng, config, object_name, member,
+                                domains[(object_name, member)]))
+        arrival = round(float(rng.uniform(0.0, config.arrival_spread)), 3)
+        work_time = round(float(rng.uniform(0.5, 3.0)), 3)
+        outages: tuple[tuple[float, float], ...] = ()
+        if rng.random() < config.p_outage:
+            count = int(rng.integers(1, 3))
+            fractions = sorted(round(float(f), 3)
+                               for f in rng.uniform(0.1, 0.9, size=count))
+            outages = tuple(
+                (fraction, round(float(rng.uniform(0.5, 4.0)), 3))
+                for fraction in fractions)
+        priority = int(rng.integers(0, 3))
+        txns.append(TxnSpec(txn_id=f"T{t}", arrival=arrival,
+                            ops=tuple(ops), work_time=work_time,
+                            outages=outages, priority=priority))
+
+    wait_timeout = None
+    if rng.random() < config.p_wait_timeout:
+        wait_timeout = round(float(rng.uniform(1.0, 6.0)), 3)
+    return EpisodeSpec(scheduler=config.scheduler, objects=tuple(objects),
+                       txns=tuple(txns), wait_timeout=wait_timeout,
+                       seed=int(seed), index=int(index))
+
+
+def _draw_op(rng: np.random.Generator, config: FuzzConfig,
+             object_name: str, member: str, domain: str) -> OpSpec:
+    if rng.random() < config.p_read:
+        return OpSpec(object_name, member, "read")
+    if rng.random() < config.p_assign:
+        if domain == "mul":
+            operand = int(rng.integers(1, 6)) * 10
+        else:
+            operand = int(rng.integers(10, 200))
+        op = OpSpec(object_name, member, "assign", operand)
+    elif domain == "mul":
+        operand = float(rng.choice((2.0, 0.5, 3.0, 1.5, 4.0, 0.25)))
+        op = OpSpec(object_name, member, "mul", operand)
+    else:
+        operand = int(rng.integers(-9, 10)) or 1
+        op = OpSpec(object_name, member, "add", operand)
+    if rng.random() < config.p_skip_apply:
+        op = replace(op, apply_op=False)
+    return op
+
+
+def episode_workload(spec: EpisodeSpec) -> Workload:
+    """Compile a spec into the scheduler-agnostic :class:`Workload`."""
+    initial_values: dict[str, Any] = {}
+    initial_members: dict[str, dict[str, Any]] = {}
+    for name, members in spec.objects:
+        table = dict(members)
+        if set(table) == {"value"}:
+            initial_values[name] = table["value"]
+        else:
+            initial_members[name] = table
+    profiles = []
+    for txn in spec.txns:
+        count = len(txn.ops)
+        fractions = [1.0 / count] * count
+        fractions[-1] = 1.0 - sum(fractions[:-1])
+        steps = tuple(
+            TransactionStep(op.object_name, op.invocation(),
+                            work_fraction=fraction, apply_op=op.apply_op)
+            for op, fraction in zip(txn.ops, fractions))
+        plan = SessionPlan(
+            work_time=txn.work_time,
+            outages=tuple(DisconnectionEvent(at_fraction=fraction,
+                                             duration=duration)
+                          for fraction, duration in txn.outages))
+        profiles.append(TransactionProfile(
+            txn_id=txn.txn_id, arrival_time=txn.arrival, steps=steps,
+            plan=plan, kind="fuzz", priority=txn.priority))
+    return Workload(profiles=profiles, initial_values=initial_values,
+                    initial_members=initial_members,
+                    description=spec.describe())

@@ -1,0 +1,89 @@
+"""Structural invariant checks run after every fuzz episode.
+
+The oracle validates *values*; these checks validate *bookkeeping*.
+At the end of an episode the simulation is quiescent (no pending
+events), so the GTM must be too: every transaction terminal, every
+lock-table set empty, every deferred-commit queue drained.  A violation
+means the protocol leaked state even though the run "worked" — exactly
+the class of bug a final-state oracle cannot see.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.states import TransactionState, can_transition
+from repro.errors import GTMError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.gtm import GlobalTransactionManager
+
+
+def check_episode_invariants(gtm: "GlobalTransactionManager") -> list[str]:
+    """Return every invariant violation found (empty = clean)."""
+    violations: list[str] = []
+    violations.extend(_object_invariants(gtm))
+    violations.extend(_transaction_invariants(gtm))
+    violations.extend(_quiescence_invariants(gtm))
+    return violations
+
+
+def _object_invariants(gtm: "GlobalTransactionManager") -> list[str]:
+    violations = []
+    for name, obj in gtm.objects.items():
+        try:
+            obj.check_invariants()
+        except GTMError as exc:
+            violations.append(str(exc))
+        for entry in obj.waiting:
+            if entry.invocation.member in obj.pending.get(entry.txn_id, {}):
+                violations.append(
+                    f"object {name!r}: {entry.txn_id!r} both granted and "
+                    f"queued for member {entry.invocation.member!r}")
+    return violations
+
+
+def _transaction_invariants(gtm: "GlobalTransactionManager") -> list[str]:
+    violations = []
+    for txn_id, txn in gtm.transactions.items():
+        if not txn.state.terminal:
+            violations.append(
+                f"txn {txn_id!r}: non-terminal at quiescence "
+                f"({txn.state.value})")
+        history = txn.state_history
+        for source, target in zip(history, history[1:]):
+            if not can_transition(source, target):
+                violations.append(
+                    f"txn {txn_id!r}: illegal recorded transition "
+                    f"{source.value} -> {target.value}")
+    for txn_id in gtm.history.commit_order:
+        txn = gtm.transactions.get(txn_id)
+        if txn is None or not txn.is_in(TransactionState.COMMITTED):
+            violations.append(
+                f"txn {txn_id!r}: in the commit order but not COMMITTED")
+    return violations
+
+
+def _quiescence_invariants(gtm: "GlobalTransactionManager") -> list[str]:
+    violations = []
+    for name, obj in gtm.objects.items():
+        residents = {
+            "pending": set(obj.pending),
+            "waiting": {entry.txn_id for entry in obj.waiting},
+            "committing": set(obj.committing),
+            "aborting": set(obj.aborting),
+            "sleeping": set(obj.sleeping),
+            "X_read": set(obj.read),
+            "X_new": set(obj.new),
+        }
+        for label, txn_ids in residents.items():
+            if txn_ids:
+                violations.append(
+                    f"object {name!r}: leaked {label} entries at "
+                    f"quiescence: {sorted(txn_ids)}")
+    for name, queue in gtm.pipeline.deferred.items():
+        if queue:
+            violations.append(
+                f"object {name!r}: deferred-commit queue not drained: "
+                f"{list(queue)}")
+    return violations

@@ -1,0 +1,162 @@
+"""Episode runner: generate -> run -> oracle -> invariants -> shrink.
+
+:func:`run_episode` is a *pure function* of an :class:`EpisodeSpec`
+(specs are fully concrete; the schedulers are deterministic discrete-
+event simulations), which is what lets the shrinker treat "does this
+sub-episode still fail?" as a simple predicate.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.check.fuzzer import (
+    EpisodeSpec,
+    FuzzConfig,
+    episode_workload,
+    generate_episode,
+)
+from repro.check.invariants import check_episode_invariants
+from repro.check.oracle import (
+    OracleReport,
+    check_episode,
+    record_baseline,
+    record_gtm,
+)
+from repro.check.shrinker import render_regression_test, shrink_episode
+from repro.errors import WorkloadError
+from repro.schedulers.gtm_scheduler import GTMScheduler, GTMSchedulerConfig
+from repro.schedulers.optimistic import OptimisticScheduler
+from repro.schedulers.twopl_scheduler import (
+    TwoPLScheduler,
+    TwoPLSchedulerConfig,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.schedulers.base import Scheduler, SchedulerResult
+
+
+@dataclass
+class EpisodeOutcome:
+    """Everything one episode run produced."""
+
+    spec: EpisodeSpec
+    ok: bool
+    committed: int = 0
+    aborted: int = 0
+    oracle: OracleReport | None = None
+    invariant_violations: list[str] = field(default_factory=list)
+    #: Traceback text when the run raised instead of finishing.
+    crash: str | None = None
+    #: The raw scheduler result (None when the run crashed).
+    result: "SchedulerResult | None" = field(default=None, repr=False)
+
+    def summary(self) -> str:
+        lines = [self.spec.describe(),
+                 f"committed={self.committed} aborted={self.aborted}"]
+        if self.crash:
+            lines.append(f"CRASH: {self.crash}")
+        if self.oracle is not None and not self.oracle.serializable:
+            lines.append(
+                f"NOT SERIALIZABLE after {self.oracle.orders_tried} "
+                f"serial orders:")
+            lines.extend(f"  {m}" for m in self.oracle.mismatches)
+        for violation in self.invariant_violations:
+            lines.append(f"INVARIANT: {violation}")
+        if self.ok:
+            lines.append("ok")
+        return "\n".join(lines)
+
+
+def build_scheduler(spec: EpisodeSpec) -> "Scheduler":
+    """The scheduler under test, configured from the spec."""
+    if spec.scheduler == "gtm":
+        return GTMScheduler(
+            GTMSchedulerConfig(wait_timeout=spec.wait_timeout))
+    if spec.scheduler == "2pl":
+        return TwoPLScheduler(
+            TwoPLSchedulerConfig(wait_timeout=spec.wait_timeout))
+    if spec.scheduler == "optimistic":
+        return OptimisticScheduler()
+    raise WorkloadError(f"unknown scheduler {spec.scheduler!r}")
+
+
+def run_episode(spec: EpisodeSpec) -> EpisodeOutcome:
+    """Run one episode and verdict it (oracle + invariants)."""
+    workload = episode_workload(spec)
+    scheduler = build_scheduler(spec)
+    try:
+        result = scheduler.run(workload)
+    except Exception:  # noqa: BLE001 - unexpected crashes ARE findings
+        return EpisodeOutcome(spec, ok=False,
+                              crash=traceback.format_exc(limit=8))
+    if spec.scheduler == "gtm":
+        gtm = scheduler.last_gtm
+        recorded = record_gtm(gtm)
+        violations = check_episode_invariants(gtm)
+        config = scheduler.config.gtm_config
+        oracle = check_episode(recorded, matrix=config.matrix,
+                               dependence=config.dependence)
+    else:
+        recorded = record_baseline(workload, result)
+        violations = []
+        oracle = check_episode(recorded)
+    committed = len(result.collector.committed())
+    aborted = len(result.collector.aborted())
+    ok = oracle.serializable and not violations
+    return EpisodeOutcome(spec, ok=ok, committed=committed,
+                          aborted=aborted, oracle=oracle,
+                          invariant_violations=violations, result=result)
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate of one fuzz campaign."""
+
+    config: FuzzConfig
+    seed: int
+    episodes: int
+    failures: list[EpisodeOutcome] = field(default_factory=list)
+    committed: int = 0
+    aborted: int = 0
+    #: Minimized spec of the first failure (when shrinking ran).
+    shrunk: EpisodeSpec | None = None
+    #: Ready-to-paste regression test for the minimized failure.
+    regression_test: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        return (f"[{self.config.scheduler}] {self.episodes} episodes "
+                f"(seed {self.seed}): {status}, "
+                f"{self.committed} commits, {self.aborted} aborts")
+
+
+def run_campaign(config: FuzzConfig, seed: int, episodes: int,
+                 max_failures: int = 1, shrink_failures: bool = True,
+                 progress: Callable[[int, EpisodeOutcome], None] | None
+                 = None) -> CampaignReport:
+    """Run ``episodes`` seeded episodes; stop after ``max_failures``."""
+    report = CampaignReport(config=config, seed=seed, episodes=episodes)
+    for index in range(episodes):
+        spec = generate_episode(config, seed, index)
+        outcome = run_episode(spec)
+        report.committed += outcome.committed
+        report.aborted += outcome.aborted
+        if progress is not None:
+            progress(index, outcome)
+        if not outcome.ok:
+            report.failures.append(outcome)
+            if len(report.failures) >= max_failures:
+                break
+    if report.failures and shrink_failures:
+        first = report.failures[0]
+        report.shrunk = shrink_episode(
+            first.spec, lambda candidate: not run_episode(candidate).ok)
+        report.regression_test = render_regression_test(report.shrunk)
+    return report

@@ -186,6 +186,26 @@ class AdmissionController:
             holder for holder, ops in holders.items()
             if self.checker.conflicts_with_any(invocation, ops))
 
+    def _queue_blockers(self, obj: ManagedObject, txn_id: str,
+                        invocation: Invocation) -> tuple[str, ...]:
+        """Everything that stalls this waiter: the wait-for edge set.
+
+        Under the grant policy's conflict-respecting overtaking a queued
+        invocation is stalled by exactly (a) the conflicting holders and
+        (b) conflicting waiters queued ahead of it, so both kinds become
+        wait-for edges — a cycle through a queue position is as much a
+        deadlock as one through a held member.
+        """
+        blockers = list(self.conflicting_holders(obj, txn_id, invocation))
+        for entry in obj.waiting:
+            if entry.txn_id == txn_id:
+                break
+            if entry.txn_id in obj.sleeping or entry.txn_id in blockers:
+                continue
+            if self.checker.in_conflict(invocation, entry.invocation):
+                blockers.append(entry.txn_id)
+        return tuple(blockers)
+
     # ------------------------------------------------------------------
     # deadlock policing (delegated to the policy object)
     # ------------------------------------------------------------------
@@ -201,7 +221,7 @@ class AdmissionController:
         """
         txn_id = txn.txn_id
         while True:
-            blockers = self.conflicting_holders(obj, txn_id, invocation)
+            blockers = self._queue_blockers(obj, txn_id, invocation)
             if not blockers:
                 break
             resolution = self.deadlock_policy.on_wait(txn_id, blockers)
@@ -326,4 +346,29 @@ class AdmissionController:
             granted.append(entry.txn_id)
         if granted:
             self.bus.on_unlock(obj, tuple(granted), now)
+        self._repolice_waiters(obj)
         return tuple(granted)
+
+    def _repolice_waiters(self, obj: ManagedObject) -> None:
+        """Refresh the wait-for edges of waiters the pump left behind.
+
+        Edges are recorded when a wait *starts*, against the then-current
+        blockers; every commit, abort and fresh grant changes the blocker
+        set, and a stale edge can hide a hold-wait cycle that only closes
+        through a *later* grant.  (Stress-harness find: T0 holds m2 and
+        queues for m1 behind T1; T1 commits and the pump grants m1 to
+        T2; T2 then requests m2 — a genuine cycle, invisible to the
+        request-time edges which still say T0 waits on T1.)  Re-recording
+        after every ⟨unlock, X⟩ keeps the graph current, and a cycle it
+        closes is resolved exactly as at request time.
+        """
+        for entry in list(obj.waiting):
+            txn = self._transactions.get(entry.txn_id)
+            if txn is None or not txn.is_in(_TS.WAITING):
+                continue
+            if entry.txn_id in obj.sleeping:
+                continue
+            # drop the stale edges before re-recording (a waiter waits on
+            # one object at a time, so this only clears this object's).
+            self.deadlock_policy.on_stop_waiting(entry.txn_id)
+            self._police_deadlock(txn, obj, entry.invocation)

@@ -27,9 +27,10 @@ builds on).
 
 from __future__ import annotations
 
+from fractions import Fraction
 from typing import Any, Protocol
 
-from repro.errors import ReconciliationError
+from repro.errors import GTMError, ReconciliationError
 from repro.core.opclass import OperationClass
 
 
@@ -83,6 +84,14 @@ class MultiplicativeReconciler:
     Folds this transaction's *factor* onto the latest permanent value.
     Requires ``X_read != 0`` — the paper's mul/div class assumes non-zero
     operands, and a zero snapshot makes the factor undefined.
+
+    The factor ``A_temp / X_read`` is computed with
+    :class:`fractions.Fraction` so that integer stock counters stay
+    integers: with true division, ``(200 / 100) * 100`` is ``200.0`` and
+    every multiplicative commit silently converts the column to float
+    (Table II-style traces then drift through repeated rounding).  A
+    result that is exactly integral is returned as ``int`` when every
+    input was an ``int``; otherwise the float value is returned.
     """
 
     name = "multiplicative"
@@ -92,12 +101,18 @@ class MultiplicativeReconciler:
             raise ReconciliationError(
                 "multiplicative reconciliation undefined for X_read == 0")
         try:
-            return (a_temp / x_read) * x_permanent
-        except TypeError as exc:
+            exact = (Fraction(a_temp) / Fraction(x_read)) \
+                * Fraction(x_permanent)
+        except (TypeError, ValueError) as exc:
             raise ReconciliationError(
                 f"multiplicative reconciliation needs numeric values, got "
                 f"read={x_read!r} temp={a_temp!r} perm={x_permanent!r}"
             ) from exc
+        all_int = all(isinstance(v, int) and not isinstance(v, bool)
+                      for v in (x_read, a_temp, x_permanent))
+        if all_int and exact.denominator == 1:
+            return int(exact)
+        return float(exact)
 
 
 class ReconcilerRegistry:
@@ -139,7 +154,11 @@ class ReconcilerRegistry:
         exists.
         """
         from repro.core.compatibility import CompatibilityMatrix  # noqa: F811
-        assert isinstance(matrix, CompatibilityMatrix)
+        if not isinstance(matrix, CompatibilityMatrix):
+            # not an assert: this guards GTM startup and must survive -O.
+            raise GTMError(
+                f"validate_against needs a CompatibilityMatrix, got "
+                f"{type(matrix).__name__}")
         for op_class in OperationClass:
             if not op_class.is_update:
                 continue

@@ -25,6 +25,7 @@ the object busy — and sketches two mitigations, both implemented here:
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import Callable, Mapping, Protocol, Sequence
 
 from repro.core.conflicts import ConflictChecker
@@ -34,13 +35,17 @@ from repro.core.opclass import Invocation
 
 HolderOps = Mapping[str, tuple[Invocation, ...]]
 
+#: Immutable shared default for the ``holders`` parameter (a plain ``{}``
+#: default is a mutable shared instance — ruff B006).
+EMPTY_HOLDERS: HolderOps = MappingProxyType({})
+
 
 class GrantPolicy(Protocol):
     """θ plus the optional invocation-time deny hook."""
 
     def select(self, obj: ManagedObject, candidates: Sequence[WaitEntry],
                checker: ConflictChecker, now: float,
-               holders: HolderOps = {}) -> list[WaitEntry]:
+               holders: HolderOps = EMPTY_HOLDERS) -> list[WaitEntry]:
         """Choose which waiters to grant when the object unlocks.
 
         ``holders`` is the effective lock set (txn -> granted and
@@ -57,19 +62,33 @@ class GrantPolicy(Protocol):
 
 
 class FifoGrantPolicy:
-    """Baseline θ: grant the maximal compatible prefix of the FIFO queue.
+    """Baseline θ: FIFO with conflict-respecting overtaking.
 
-    The head waiter is always granted; each following waiter is granted
-    iff it is compatible with every invocation granted in this round (and
-    with whatever is still committing — the GTM enforces that part).
-    Stops at the first incompatible waiter: skipping it would starve it,
-    which is exactly the pathology Section VII worries about.
+    A waiter (the head included) is granted iff it is compatible with
+
+    - the effective lock set of *other* transactions (``holders``:
+      pending − sleeping, plus committing) — the head is therefore *not*
+      unconditionally granted: ⟨unlock, X⟩ also fires while compatible
+      holders still operate, and overtaking them would break Table I;
+    - every invocation granted earlier in this round; and
+    - every *blocked* waiter queued ahead of it.
+
+    The last rule is the fairness/liveness balance.  A waiter never
+    overtakes an earlier waiter it conflicts with (overtaking would
+    starve it — the Section VII pathology), but a request on an
+    independent member may pass a blocked head.  Strict head-of-line
+    blocking instead deadlocks: the stress harness found episodes where
+    a *holder* queues behind a blocked head for a member that is free —
+    the head waits on the holder, the holder waits on the queue, and the
+    wait-for graph sees neither (it tracks holder waits, not
+    queue-position waits).
     """
 
     def select(self, obj: ManagedObject, candidates: Sequence[WaitEntry],
                checker: ConflictChecker, now: float,
-               holders: HolderOps = {}) -> list[WaitEntry]:
+               holders: HolderOps = EMPTY_HOLDERS) -> list[WaitEntry]:
         granted: list[WaitEntry] = []
+        blocked: list[WaitEntry] = []
         for entry in candidates:
             blocked_by_holder = any(
                 checker.conflicts_with_any(entry.invocation, ops)
@@ -78,9 +97,13 @@ class FifoGrantPolicy:
             blocked_by_batch = any(
                 checker.in_conflict(entry.invocation, g.invocation)
                 for g in granted)
-            if blocked_by_holder or blocked_by_batch:
-                break
-            granted.append(entry)
+            blocked_by_earlier = any(
+                checker.in_conflict(entry.invocation, b.invocation)
+                for b in blocked)
+            if blocked_by_holder or blocked_by_batch or blocked_by_earlier:
+                blocked.append(entry)
+            else:
+                granted.append(entry)
         return granted
 
     def deny_fresh_invocation(self, obj: ManagedObject,
@@ -145,7 +168,7 @@ class PriorityAgingPolicy(FifoGrantPolicy):
 
     def select(self, obj: ManagedObject, candidates: Sequence[WaitEntry],
                checker: ConflictChecker, now: float,
-               holders: HolderOps = {}) -> list[WaitEntry]:
+               holders: HolderOps = EMPTY_HOLDERS) -> list[WaitEntry]:
         ordered = sorted(
             candidates,
             key=lambda e: (-self._effective_priority(e, now), e.arrival))

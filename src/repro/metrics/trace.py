@@ -14,6 +14,10 @@ for documentation; the aggregate statistics live in
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+from typing import Any
+
 from repro.metrics.collectors import MetricsCollector, Outcome, TxnTimeline
 
 
@@ -73,3 +77,54 @@ def render_gantt(collector: MetricsCollector, width: int = 64,
     lines.append("legend: = running   w waiting   z sleeping   "
                  "C commit   X abort")
     return "\n".join(lines)
+
+
+# -- machine-readable episode traces ----------------------------------------
+
+
+def timeline_record(timeline: TxnTimeline) -> dict[str, Any]:
+    """One timeline as a JSON-serializable dict."""
+    return {
+        "txn_id": timeline.txn_id,
+        "arrival": timeline.arrival,
+        "first_grant": timeline.first_grant,
+        "commit_requested": timeline.commit_requested,
+        "finished": timeline.finished,
+        "outcome": timeline.outcome.value,
+        "abort_reason": timeline.abort_reason,
+        "wait_time": timeline.wait_time,
+        "sleep_time": timeline.sleep_time,
+        "sleeps": timeline.sleeps,
+        "intervals": [list(interval) for interval in timeline.intervals],
+    }
+
+
+def episode_trace(result: Any, description: str = "") -> dict[str, Any]:
+    """Export one scheduler run as a JSON-serializable episode trace.
+
+    ``result`` is a :class:`~repro.schedulers.base.SchedulerResult`
+    (typed loosely to keep this module scheduler-agnostic).  The trace
+    carries everything needed to eyeball or diff a failing stress
+    episode: final values, scheduler counters and every timeline.
+    """
+    collector: MetricsCollector = result.collector
+    timelines = sorted(collector.timelines.values(),
+                       key=lambda t: (t.arrival, t.txn_id))
+    return {
+        "scheduler": result.scheduler,
+        "description": description,
+        "final_values": dict(result.final_values),
+        "extra": dict(result.extra),
+        "transactions": [timeline_record(t) for t in timelines],
+    }
+
+
+def write_episode_trace(path: str | Path, result: Any,
+                        description: str = "") -> Path:
+    """Write :func:`episode_trace` as pretty-printed JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(episode_trace(result, description),
+                                 indent=2, default=str) + "\n",
+                      encoding="utf-8")
+    return target

@@ -131,6 +131,9 @@ class GTMScheduler(Scheduler):
         for name, value in workload.initial_values.items():
             gtm.create_object(name, value=value,
                               binding=self.config.bindings.get(name))
+        for name, members in workload.initial_members.items():
+            gtm.create_object(name, members=dict(members),
+                              binding=self.config.bindings.get(name))
         self.last_gtm = gtm
         for profile in workload:
             body = self._client(profile, gtm, observer)
@@ -138,7 +141,8 @@ class GTMScheduler(Scheduler):
                     start_delay=profile.arrival_time)
         makespan = engine.run()
         final_values = {name: obj.permanent_value()
-                        for name, obj in gtm.objects.items()}
+                        for name, obj in gtm.objects.items()
+                        if "value" in obj.permanent}
         extra = {
             "sst_executions": (self.config.sst_executor.executed
                                if self.config.sst_executor else 0),
@@ -168,8 +172,9 @@ class GTMScheduler(Scheduler):
                     granted = yield from self._await_grant(txn_id, gtm, wake)
                     if not granted:
                         return
-                gtm.apply(txn_id, action.step.object_name,
-                          action.step.invocation)
+                if action.step.apply_op:
+                    gtm.apply(txn_id, action.step.object_name,
+                              action.step.invocation)
             elif isinstance(action, WorkAction):
                 yield Timeout(action.duration)
             elif isinstance(action, SleepAction):

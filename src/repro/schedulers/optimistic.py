@@ -76,8 +76,9 @@ class OptimisticScheduler(Scheduler):
         buffered: list[tuple[str, Any]] = []
         for action in build_itinerary(profile):
             if isinstance(action, InvokeAction):
-                buffered.append((action.step.object_name,
-                                 action.step.invocation))
+                if action.step.apply_op:
+                    buffered.append((action.step.object_name,
+                                     action.step.invocation))
             elif isinstance(action, WorkAction):
                 yield Timeout(action.duration)
             elif isinstance(action, SleepAction):

@@ -210,7 +210,8 @@ class TwoPLScheduler(Scheduler):
                                               timeline)
                 if not ok:
                     return
-                buffered.append((step.object_name, step.invocation))
+                if step.apply_op:
+                    buffered.append((step.object_name, step.invocation))
             elif isinstance(action, WorkAction):
                 yield Timeout(action.duration)
             elif isinstance(action, SleepAction):

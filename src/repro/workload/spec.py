@@ -23,11 +23,19 @@ class TransactionStep:
 
     ``work_fraction`` is the share of the transaction's service time
     spent on this step (fractions of a profile must sum to 1).
+
+    ``apply_op=False`` models a user who obtains the right to operate
+    but never performs the operation before committing (browsed, did not
+    buy): the GTM scheduler still requests the grant, the lock-based
+    baselines still take the lock, but no write is buffered/applied.
+    Such a step must commit as a no-op — the stress harness uses this to
+    probe the reconciliation of granted-but-unused invocations.
     """
 
     object_name: str
     invocation: Invocation
     work_fraction: float = 1.0
+    apply_op: bool = True
 
 
 @dataclass(frozen=True)
@@ -70,16 +78,37 @@ class Workload:
     #: Object name -> initial value (atomic objects).
     initial_values: dict[str, float] = field(default_factory=dict)
     description: str = ""
+    #: Object name -> {member -> initial value} for multi-member objects.
+    #: Only the GTM scheduler understands these (the 2PL / optimistic
+    #: baselines model one scalar per resource); a workload that uses
+    #: them is GTM-only.
+    initial_members: dict[str, dict[str, float]] = field(
+        default_factory=dict)
 
     def __post_init__(self) -> None:
         self.profiles.sort(key=lambda p: (p.arrival_time, p.txn_id))
+        overlap = set(self.initial_values) & set(self.initial_members)
+        if overlap:
+            raise WorkloadError(
+                f"objects declared both atomic and multi-member: "
+                f"{sorted(overlap)}")
+        known = set(self.initial_values) | set(self.initial_members)
         missing = {step.object_name
                    for profile in self.profiles
-                   for step in profile.steps} - set(self.initial_values)
+                   for step in profile.steps} - known
         if missing:
             raise WorkloadError(
                 f"profiles reference objects without initial values: "
                 f"{sorted(missing)}")
+        for profile in self.profiles:
+            for step in profile.steps:
+                members = self.initial_members.get(step.object_name)
+                if members is not None and \
+                        step.invocation.member not in members:
+                    raise WorkloadError(
+                        f"{profile.txn_id!r} touches unknown member "
+                        f"{step.invocation.member!r} of "
+                        f"{step.object_name!r}")
 
     def __iter__(self) -> Iterator[TransactionProfile]:
         return iter(self.profiles)
@@ -89,7 +118,7 @@ class Workload:
 
     @property
     def object_names(self) -> tuple[str, ...]:
-        return tuple(self.initial_values)
+        return tuple(self.initial_values) + tuple(self.initial_members)
 
     def arrival_span(self) -> float:
         if not self.profiles:

@@ -1,0 +1,74 @@
+"""Minimized episodes the stress harness found, pinned forever.
+
+Both were minimized by the shrinker from seed-42 episode 733 and are
+kept verbatim (shrinker output format) so the provenance stays visible.
+"""
+
+from repro.check.fuzzer import EpisodeSpec, OpSpec, TxnSpec
+from repro.check.runner import run_episode
+
+
+def test_holder_queued_behind_blocked_head():
+    """Strict head-of-line blocking livelocked this episode: T2 (queue
+    head, wants m2) was blocked by holder T0, and T0 queued *behind* T2
+    for m1 — which was free.  Fixed by conflict-respecting overtaking in
+    FifoGrantPolicy."""
+    spec = EpisodeSpec(
+        scheduler='gtm',
+        objects=(('X0', (('m1', 81), ('m2', 60))),),
+        txns=(
+            TxnSpec(txn_id='T0', arrival=4.359,
+                    ops=(OpSpec(object_name='X0', member='m2', op='mul',
+                                operand=0.25, apply_op=True),
+                         OpSpec(object_name='X0', member='m1', op='add',
+                                operand=-2, apply_op=True)),
+                    work_time=2.434, outages=(), priority=0),
+            TxnSpec(txn_id='T1', arrival=4.774,
+                    ops=(OpSpec(object_name='X0', member='m1',
+                                op='assign', operand=69, apply_op=True),),
+                    work_time=1.546, outages=(), priority=0),
+            TxnSpec(txn_id='T2', arrival=4.875,
+                    ops=(OpSpec(object_name='X0', member='m2',
+                                op='assign', operand=50,
+                                apply_op=False),),
+                    work_time=2.795, outages=(), priority=0)),
+        wait_timeout=None, seed=42, index=733)
+    outcome = run_episode(spec)
+    assert outcome.ok, outcome.summary()
+    assert outcome.committed == 3
+
+
+def test_cross_member_deadlock_closed_by_late_grant():
+    """With overtaking in place the same episode (plus one op) formed a
+    genuine cross-member deadlock: T0 held m2 waiting for m1, the pump
+    granted m1 to T2, and T2 then requested m2.  The request-time
+    wait-for edges still said "T0 waits on T1" (committed long before),
+    so the cycle was invisible.  Fixed by re-policing waiters after
+    every ⟨unlock, X⟩ pump."""
+    spec = EpisodeSpec(
+        scheduler='gtm',
+        objects=(('X0', (('m1', 81), ('m2', 60))),),
+        txns=(
+            TxnSpec(txn_id='T0', arrival=4.359,
+                    ops=(OpSpec(object_name='X0', member='m2', op='mul',
+                                operand=0.25, apply_op=True),
+                         OpSpec(object_name='X0', member='m1', op='add',
+                                operand=-2, apply_op=True)),
+                    work_time=2.434, outages=(), priority=0),
+            TxnSpec(txn_id='T1', arrival=4.774,
+                    ops=(OpSpec(object_name='X0', member='m1',
+                                op='assign', operand=69, apply_op=True),),
+                    work_time=1.546, outages=(), priority=0),
+            TxnSpec(txn_id='T2', arrival=4.875,
+                    ops=(OpSpec(object_name='X0', member='m1',
+                                op='assign', operand=142, apply_op=False),
+                         OpSpec(object_name='X0', member='m2',
+                                op='assign', operand=50,
+                                apply_op=False)),
+                    work_time=2.795, outages=(), priority=0)),
+        wait_timeout=None, seed=42, index=733)
+    outcome = run_episode(spec)
+    assert outcome.ok, outcome.summary()
+    # the deadlock is resolved by aborting a victim, not by hanging
+    assert outcome.committed == 2
+    assert outcome.aborted == 1

@@ -1,0 +1,132 @@
+"""The episode generator: determinism, scalar hygiene, compilability."""
+
+from repro.check.fuzzer import (
+    EpisodeSpec,
+    FuzzConfig,
+    OpSpec,
+    TxnSpec,
+    episode_workload,
+    generate_episode,
+)
+
+
+class TestDeterminism:
+    def test_same_triple_same_episode(self):
+        config = FuzzConfig(scheduler="gtm")
+        assert generate_episode(config, 7, 3) == generate_episode(
+            config, 7, 3)
+
+    def test_index_is_part_of_the_key(self):
+        config = FuzzConfig(scheduler="gtm")
+        specs = [generate_episode(config, 7, i) for i in range(10)]
+        assert len(set(specs)) > 1
+
+    def test_seed_is_part_of_the_key(self):
+        config = FuzzConfig(scheduler="gtm")
+        assert generate_episode(config, 1, 0) != generate_episode(
+            config, 2, 0)
+
+    def test_scheduler_is_part_of_the_key(self):
+        gtm = generate_episode(FuzzConfig(scheduler="gtm"), 7, 0)
+        twopl = generate_episode(FuzzConfig(scheduler="2pl"), 7, 0)
+        assert gtm.txns != twopl.txns
+
+    def test_episodes_independent_of_generation_order(self):
+        config = FuzzConfig(scheduler="gtm")
+        forward = [generate_episode(config, 5, i) for i in range(5)]
+        backward = [generate_episode(config, 5, i)
+                    for i in reversed(range(5))]
+        assert forward == list(reversed(backward))
+
+
+class TestSpecHygiene:
+    def test_all_scalars_are_builtin(self):
+        """numpy scalars in a spec would break the emitted repr."""
+        config = FuzzConfig(scheduler="gtm")
+        for index in range(50):
+            spec = generate_episode(config, 11, index)
+            assert type(spec.seed) is int and type(spec.index) is int
+            assert (spec.wait_timeout is None
+                    or type(spec.wait_timeout) is float)
+            for _, members in spec.objects:
+                for _, value in members:
+                    assert type(value) in (int, float)
+            for txn in spec.txns:
+                assert type(txn.arrival) is float
+                assert type(txn.work_time) is float
+                assert type(txn.priority) is int
+                for fraction, duration in txn.outages:
+                    assert type(fraction) is float
+                    assert type(duration) is float
+                for op in txn.ops:
+                    assert (op.operand is None
+                            or type(op.operand) in (int, float))
+
+    def test_repr_round_trips_through_eval(self):
+        spec = generate_episode(FuzzConfig(scheduler="gtm"), 42, 733)
+        namespace = {"EpisodeSpec": EpisodeSpec, "TxnSpec": TxnSpec,
+                     "OpSpec": OpSpec}
+        assert eval(repr(spec), namespace) == spec
+
+    def test_one_invocation_per_txn_member_pair(self):
+        config = FuzzConfig(scheduler="gtm")
+        for index in range(50):
+            spec = generate_episode(config, 13, index)
+            for txn in spec.txns:
+                pairs = [(op.object_name, op.member) for op in txn.ops]
+                assert len(pairs) == len(set(pairs))
+
+    def test_multiplicative_members_never_reach_zero(self):
+        """Domain partitioning: mul members only see assign >= 10 and
+        positive factors, so MULDIV reconciliation cannot divide by 0."""
+        config = FuzzConfig(scheduler="gtm", p_multiplicative=1.0)
+        for index in range(30):
+            spec = generate_episode(config, 17, index)
+            for txn in spec.txns:
+                for op in txn.ops:
+                    if op.op == "assign":
+                        assert op.operand >= 10
+                    elif op.op == "mul":
+                        assert op.operand > 0
+                    else:
+                        assert op.op == "read"
+
+    def test_baselines_get_single_member_objects(self):
+        for scheduler in ("2pl", "optimistic"):
+            config = FuzzConfig(scheduler=scheduler)
+            for index in range(20):
+                spec = generate_episode(config, 19, index)
+                for _, members in spec.objects:
+                    assert [m for m, _ in members] == ["value"]
+
+
+class TestWorkloadCompilation:
+    def test_fifty_specs_compile_and_validate(self):
+        config = FuzzConfig(scheduler="gtm")
+        for index in range(50):
+            spec = generate_episode(config, 23, index)
+            workload = episode_workload(spec)
+            assert len(workload) == len(spec.txns)
+            assert set(workload.object_names) == {
+                name for name, _ in spec.objects}
+
+    def test_multi_member_objects_land_in_initial_members(self):
+        spec = EpisodeSpec(
+            scheduler="gtm",
+            objects=(("A", (("value", 5),)),
+                     ("B", (("m0", 1), ("m1", 2)))),
+            txns=(TxnSpec("T0", 0.0,
+                          (OpSpec("A", "value", "add", 1),
+                           OpSpec("B", "m0", "add", 1))),))
+        workload = episode_workload(spec)
+        assert workload.initial_values == {"A": 5}
+        assert workload.initial_members == {"B": {"m0": 1, "m1": 2}}
+
+    def test_work_fractions_sum_to_one(self):
+        config = FuzzConfig(scheduler="gtm")
+        for index in range(20):
+            workload = episode_workload(
+                generate_episode(config, 29, index))
+            for profile in workload:
+                total = sum(s.work_fraction for s in profile.steps)
+                assert abs(total - 1.0) <= 1e-9

@@ -1,0 +1,80 @@
+"""The structural invariant suite, on clean and corrupted GTM states."""
+
+from repro.check.fuzzer import FuzzConfig, episode_workload, generate_episode
+from repro.check.invariants import check_episode_invariants
+from repro.check.runner import build_scheduler
+from repro.core.gtm import GlobalTransactionManager
+from repro.core.objects import WaitEntry
+from repro.core.opclass import add, assign
+from repro.core.states import TransactionState
+
+
+def _finished_gtm():
+    """A tiny quiescent GTM with one committed transaction."""
+    gtm = GlobalTransactionManager()
+    gtm.create_object("X", value=10)
+    gtm.begin("T1")
+    gtm.invoke("T1", "X", add(5))
+    gtm.apply("T1", "X", add(5))
+    gtm.local_commit("T1", "X")
+    gtm.global_commit("T1")
+    return gtm
+
+
+class TestCleanRuns:
+    def test_committed_run_is_clean(self):
+        assert check_episode_invariants(_finished_gtm()) == []
+
+    def test_fuzzed_runs_are_clean(self):
+        config = FuzzConfig(scheduler="gtm")
+        for index in range(10):
+            spec = generate_episode(config, 31, index)
+            scheduler = build_scheduler(spec)
+            scheduler.run(episode_workload(spec))
+            assert check_episode_invariants(scheduler.last_gtm) == []
+
+
+class TestCorruptions:
+    def test_non_terminal_transaction_flagged(self):
+        gtm = GlobalTransactionManager()
+        gtm.create_object("X", value=0)
+        gtm.begin("T1")
+        gtm.invoke("T1", "X", add(1))   # granted, never committed
+        violations = check_episode_invariants(gtm)
+        assert any("non-terminal" in v for v in violations)
+        assert any("leaked pending" in v for v in violations)
+
+    def test_granted_and_queued_same_member_flagged(self):
+        gtm = _finished_gtm()
+        obj = gtm.objects["X"]
+        obj.pending["Z"] = {"value": add(1)}
+        obj.read["Z"] = {"value": 10}
+        obj.waiting.append(WaitEntry("Z", add(1), arrival=0.0))
+        violations = check_episode_invariants(gtm)
+        assert any("both granted and queued" in v for v in violations)
+
+    def test_leaked_waiting_entry_flagged(self):
+        gtm = _finished_gtm()
+        gtm.objects["X"].waiting.append(
+            WaitEntry("GHOST", assign(1), arrival=0.0))
+        violations = check_episode_invariants(gtm)
+        assert any("leaked waiting" in v for v in violations)
+
+    def test_undrained_deferred_queue_flagged(self):
+        gtm = _finished_gtm()
+        gtm.pipeline.deferred["X"] = ["T9"]
+        violations = check_episode_invariants(gtm)
+        assert any("deferred-commit queue" in v for v in violations)
+
+    def test_commit_order_ghost_flagged(self):
+        gtm = _finished_gtm()
+        gtm.history.commit_order.append("NEVER_BEGAN")
+        violations = check_episode_invariants(gtm)
+        assert any("commit order" in v for v in violations)
+
+    def test_illegal_recorded_transition_flagged(self):
+        gtm = _finished_gtm()
+        machine = gtm.transactions["T1"]._machine
+        machine.history.append(TransactionState.ACTIVE)  # COMMITTED->ACTIVE
+        violations = check_episode_invariants(gtm)
+        assert any("illegal recorded transition" in v for v in violations)

@@ -1,0 +1,148 @@
+"""The serializability oracle on hand-built operation logs."""
+
+from repro.check.oracle import (
+    RecordedEpisode,
+    check_episode,
+    record_baseline,
+    replay_mismatches,
+)
+from repro.core.history import OperationLog
+from repro.core.opclass import add, assign, multiply
+
+
+def _log(initial, ops, commit_order):
+    """ops: list of (txn_id, object_name, invocation)."""
+    log = OperationLog()
+    for name, value in initial.items():
+        log.record_object(name, {"value": value}, True)
+    for txn_id, object_name, invocation in ops:
+        log.record_apply(txn_id, object_name, invocation)
+    for txn_id in commit_order:
+        log.record_commit(txn_id)
+    return log
+
+
+def _episode(initial, ops, commit_order, final):
+    return RecordedEpisode(
+        log=_log(initial, ops, commit_order),
+        final={name: {"value": value} for name, value in final.items()},
+        exists={name: True for name in final},
+    )
+
+
+class TestWitnessOrder:
+    def test_commit_order_is_the_witness(self):
+        episode = _episode(
+            {"X": 100},
+            [("T1", "X", add(5)), ("T2", "X", add(3))],
+            ["T1", "T2"],
+            {"X": 108})
+        report = check_episode(episode)
+        assert report.serializable
+        assert report.witness == ("T1", "T2")
+        assert report.orders_tried == 1
+
+    def test_uncommitted_transactions_never_replay(self):
+        episode = _episode(
+            {"X": 100},
+            [("T1", "X", add(5)), ("DEAD", "X", assign(0))],
+            ["T1"],
+            {"X": 105})
+        assert check_episode(episode).serializable
+
+
+class TestPermutationFallback:
+    def test_other_order_rescues_the_outcome(self):
+        """Final state matches T2;T1 though the commit order says T1;T2 —
+        final-state serializable, just with a different witness."""
+        episode = _episode(
+            {"X": 0},
+            [("T1", "X", assign(5)), ("T2", "X", assign(7))],
+            ["T1", "T2"],
+            {"X": 5})
+        report = check_episode(episode)
+        assert report.serializable
+        assert report.witness == ("T2", "T1")
+        assert report.orders_tried > 1
+
+    def test_lost_update_is_not_serializable(self):
+        """X=999 matches no serial order of the committed work."""
+        episode = _episode(
+            {"X": 100},
+            [("T1", "X", add(5)), ("T2", "X", add(3))],
+            ["T1", "T2"],
+            {"X": 999})
+        report = check_episode(episode)
+        assert not report.serializable
+        assert report.mismatches
+        assert "999" in report.mismatches[0]
+
+    def test_mismatch_names_object_and_member(self):
+        episode = _episode({"X": 1}, [("T1", "X", add(1))], ["T1"],
+                           {"X": 7})
+        report = check_episode(episode)
+        assert any("X.value" in m for m in report.mismatches)
+
+
+class TestComponentSearch:
+    def test_large_episode_component_permutation(self):
+        """8 committed txns (> MAX_EXHAUSTIVE): six independent adders
+        plus one conflicting assign/assign component recorded in the
+        wrong witness order.  Component-wise search must fix it without
+        touching 8! global permutations."""
+        initial = {f"A{i}": 0 for i in range(6)}
+        initial["Y"] = 0
+        ops = [(f"T{i}", f"A{i}", add(1)) for i in range(6)]
+        ops += [("S1", "Y", assign(5)), ("S2", "Y", assign(7))]
+        final = {f"A{i}": 1 for i in range(6)}
+        final["Y"] = 5  # matches S2 before S1
+        episode = _episode(
+            initial, ops,
+            [f"T{i}" for i in range(3)] + ["S1", "S2"]
+            + [f"T{i}" for i in range(3, 6)],
+            final)
+        report = check_episode(episode)
+        assert report.serializable
+        witness = list(report.witness)
+        assert witness.index("S2") < witness.index("S1")
+
+    def test_large_episode_true_violation_still_caught(self):
+        initial = {f"A{i}": 0 for i in range(7)}
+        initial["Y"] = 10
+        ops = [(f"T{i}", f"A{i}", add(1)) for i in range(7)]
+        ops += [("S1", "Y", multiply(2))]
+        final = {f"A{i}": 1 for i in range(7)}
+        final["Y"] = 999
+        episode = _episode(initial, ops,
+                           [f"T{i}" for i in range(7)] + ["S1"], final)
+        assert not check_episode(episode).serializable
+
+
+class TestReplayMismatches:
+    def test_float_tolerance(self):
+        episode = _episode({"X": 10}, [("T1", "X", multiply(1.0 / 3))],
+                           ["T1"], {"X": 10 * (1.0 / 3) + 1e-12})
+        assert replay_mismatches(episode, ["T1"]) == []
+
+    def test_exact_integer_comparison(self):
+        episode = _episode({"X": 10}, [("T1", "X", add(1))], ["T1"],
+                           {"X": 12})
+        assert replay_mismatches(episode, ["T1"])
+
+
+class TestRecordBaseline:
+    def test_reconstructs_commit_order_from_timelines(self):
+        from repro.check.fuzzer import FuzzConfig, generate_episode
+        from repro.check.fuzzer import episode_workload
+        from repro.check.runner import build_scheduler
+
+        spec = generate_episode(FuzzConfig(scheduler="2pl"), 3, 0)
+        workload = episode_workload(spec)
+        result = build_scheduler(spec).run(workload)
+        recorded = record_baseline(workload, result)
+        committed = {t.txn_id for t in result.collector.committed()}
+        assert set(recorded.log.commit_order) == committed
+        # applied ops only come from committed transactions
+        assert {op.txn_id for op in recorded.log.applied} <= committed
+        report = check_episode(recorded)
+        assert report.serializable

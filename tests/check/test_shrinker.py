@@ -1,0 +1,127 @@
+"""The delta-debugging shrinker on synthetic failure predicates."""
+
+from dataclasses import replace
+
+from repro.check.fuzzer import (
+    EpisodeSpec,
+    FuzzConfig,
+    OpSpec,
+    TxnSpec,
+    generate_episode,
+)
+from repro.check.shrinker import (
+    prune_unreferenced,
+    render_regression_test,
+    shrink_episode,
+)
+
+
+def _spec(txns, wait_timeout=None):
+    return EpisodeSpec(
+        scheduler="gtm",
+        objects=(("X0", (("m0", 10), ("m1", 20))),
+                 ("X1", (("m0", 30),))),
+        txns=tuple(txns),
+        wait_timeout=wait_timeout,
+        seed=7,
+        index=0,
+    )
+
+
+def _txn(txn_id, ops, outages=()):
+    return TxnSpec(txn_id=txn_id, arrival=1.0, ops=tuple(ops),
+                   work_time=1.0, outages=tuple(outages), priority=0)
+
+
+def _op(object_name="X0", member="m0", op="add", operand=1):
+    return OpSpec(object_name=object_name, member=member, op=op,
+                  operand=operand, apply_op=True)
+
+
+class TestShrinkEpisode:
+    def test_drops_irrelevant_transactions_and_ops(self):
+        """Failure depends only on T1 touching X0.m0: everything else
+        must go."""
+        spec = _spec([
+            _txn("T0", [_op("X1", "m0")]),
+            _txn("T1", [_op("X0", "m0"), _op("X0", "m1")]),
+            _txn("T2", [_op("X0", "m1"), _op("X1", "m0")]),
+        ], wait_timeout=8.0)
+
+        def still_fails(candidate):
+            return any(op.object_name == "X0" and op.member == "m0"
+                       for txn in candidate.txns for op in txn.ops)
+
+        shrunk = shrink_episode(spec, still_fails)
+        assert len(shrunk.txns) == 1
+        assert len(shrunk.txns[0].ops) == 1
+        assert (shrunk.txns[0].ops[0].object_name,
+                shrunk.txns[0].ops[0].member) == ("X0", "m0")
+        # unreferenced objects/members pruned, timeout dropped
+        assert shrunk.objects == (("X0", (("m0", 10),)),)
+        assert shrunk.wait_timeout is None
+
+    def test_drops_outages_not_implicated(self):
+        spec = _spec([
+            _txn("T0", [_op()], outages=[(0.5, 2.0), (3.0, 1.0)]),
+        ])
+
+        def still_fails(candidate):
+            return bool(candidate.txns)
+
+        shrunk = shrink_episode(spec, still_fails)
+        assert shrunk.txns[0].outages == ()
+
+    def test_keeps_load_bearing_pieces(self):
+        """A failure needing both T0 and T1 keeps both."""
+        spec = _spec([
+            _txn("T0", [_op("X0", "m0")]),
+            _txn("T1", [_op("X0", "m0", op="assign", operand=5)]),
+            _txn("T2", [_op("X1", "m0")]),
+        ])
+
+        def still_fails(candidate):
+            ids = {txn.txn_id for txn in candidate.txns}
+            return {"T0", "T1"} <= ids
+
+        shrunk = shrink_episode(spec, still_fails)
+        assert {txn.txn_id for txn in shrunk.txns} == {"T0", "T1"}
+
+    def test_falls_back_when_pruning_perturbs(self):
+        """A predicate sensitive to the unreferenced object survives."""
+        spec = _spec([_txn("T0", [_op("X0", "m0")])])
+
+        def still_fails(candidate):
+            return any(name == "X1" for name, _ in candidate.objects)
+
+        shrunk = shrink_episode(spec, still_fails)
+        assert any(name == "X1" for name, _ in shrunk.objects)
+
+
+class TestPruneUnreferenced:
+    def test_roundtrip_on_fully_referenced_spec(self):
+        spec = _spec([
+            _txn("T0", [_op("X0", "m0"), _op("X0", "m1"),
+                        _op("X1", "m0")]),
+        ])
+        assert prune_unreferenced(spec) == spec
+
+
+class TestRenderRegressionTest:
+    def test_rendered_test_is_valid_python_and_pins_the_spec(self):
+        spec = generate_episode(FuzzConfig(scheduler="gtm"), 11, 4)
+        source = render_regression_test(spec, name="test_pinned")
+        namespace: dict = {}
+        exec(compile(source, "<rendered>", "exec"), namespace)
+        assert "test_pinned" in namespace
+        assert repr(spec) in source
+        assert "seed 11" in source and "episode 4" in source
+        # the rendered test actually passes on the (healthy) code
+        namespace["test_pinned"]()
+
+    def test_rendered_spec_reprs_evaluate_back(self):
+        spec = replace(generate_episode(FuzzConfig(scheduler="2pl"), 5, 2))
+        rebuilt = eval(repr(spec), {
+            "EpisodeSpec": EpisodeSpec, "TxnSpec": TxnSpec,
+            "OpSpec": OpSpec})
+        assert rebuilt == spec

@@ -1,0 +1,44 @@
+"""Small fixed-seed fuzz campaigns across all three schedulers.
+
+This is the in-suite twin of the CI ``stress-smoke`` job: enough
+episodes to exercise grants, waits, outages, deadlock resolution and
+reconciliation, small enough to stay in the default test budget.  The
+full campaign is ``python -m repro.check --seed 42 --episodes 1000``.
+"""
+
+import pytest
+
+from repro.check.fuzzer import SCHEDULER_NAMES, FuzzConfig
+from repro.check.runner import run_campaign
+
+EPISODES = 60
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+def test_smoke_campaign_is_clean(scheduler):
+    config = FuzzConfig(scheduler=scheduler)
+    report = run_campaign(config, seed=42, episodes=EPISODES,
+                          max_failures=1, shrink_failures=False)
+    assert report.ok, report.failures[0].summary()
+    assert report.episodes == EPISODES
+    assert report.committed > 0
+
+
+def test_campaigns_are_reproducible():
+    config = FuzzConfig(scheduler="gtm")
+    first = run_campaign(config, seed=9, episodes=15,
+                         shrink_failures=False)
+    second = run_campaign(config, seed=9, episodes=15,
+                          shrink_failures=False)
+    assert (first.committed, first.aborted) == (second.committed,
+                                                second.aborted)
+
+
+def test_distinct_seeds_explore_distinct_episodes():
+    config = FuzzConfig(scheduler="gtm")
+    first = run_campaign(config, seed=1, episodes=15,
+                         shrink_failures=False)
+    second = run_campaign(config, seed=2, episodes=15,
+                          shrink_failures=False)
+    assert (first.committed, first.aborted) != (second.committed,
+                                                second.aborted)

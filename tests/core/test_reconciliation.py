@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.errors import ReconciliationError
+from repro.errors import GTMError, ReconciliationError
 from repro.core.compatibility import DEFAULT_MATRIX
 from repro.core.opclass import OperationClass
 from repro.core.reconciliation import (
@@ -80,6 +80,42 @@ class TestMultiplicative:
         assert a_first == pytest.approx(b_first)
         assert a_first == pytest.approx(start * factor_a * factor_b)
 
+    def test_integer_trace_stays_integer(self):
+        """Regression: true division converted int objects to float.
+
+        The Table II trace transliterated to the mul/div class (both
+        transactions read 100; A doubles, B triples) must leave an int
+        column int: 100 -> 200 -> 600, never 200.0 / 600.0.
+        """
+        reconciler = MultiplicativeReconciler()
+        after_a = reconciler.reconcile(100, 200, 100)
+        assert after_a == 200 and isinstance(after_a, int)
+        after_b = reconciler.reconcile(100, 300, after_a)
+        assert after_b == 600 and isinstance(after_b, int)
+
+    def test_non_integral_result_is_float(self):
+        # an int column halved must become float — only *integral*
+        # results keep the int type.
+        result = MultiplicativeReconciler().reconcile(100, 50, 101)
+        assert result == pytest.approx(50.5)
+        assert isinstance(result, float)
+
+    def test_float_inputs_stay_float(self):
+        result = MultiplicativeReconciler().reconcile(10.0, 20.0, 10.0)
+        assert result == 20.0 and isinstance(result, float)
+
+    def test_fraction_arithmetic_is_exact(self):
+        # (1/3 of 300) applied to 300 would accumulate float error with
+        # true division; Fraction keeps it exactly 100.
+        reconciler = MultiplicativeReconciler()
+        assert reconciler.reconcile(300, 100, 300) == 100
+
+    def test_bool_inputs_do_not_masquerade_as_int(self):
+        # bool is an int subclass; the type-restore must not return a
+        # bare int for what was a degenerate bool input.
+        result = MultiplicativeReconciler().reconcile(True, True, True)
+        assert result == 1.0 and isinstance(result, float)
+
 
 class TestIdentity:
     def test_returns_temp_verbatim(self):
@@ -110,6 +146,11 @@ class TestRegistry:
         registry = ReconcilerRegistry()  # empty: add/sub self-compat fails
         with pytest.raises(ReconciliationError):
             registry.validate_against(DEFAULT_MATRIX)
+
+    def test_validate_against_rejects_non_matrix(self):
+        """Regression: this guard was a bare assert, stripped under -O."""
+        with pytest.raises(GTMError):
+            default_registry().validate_against({"not": "a matrix"})
 
     def test_register_overrides(self):
         registry = default_registry()

@@ -46,6 +46,39 @@ class TestFifoGrantPolicy:
         assert not policy.deny_fresh_invocation(obj, add(1),
                                                 ConflictChecker(), now=0.0)
 
+    def test_head_blocked_by_holder_grants_nothing(self):
+        """Head-of-queue semantics: the head is NOT unconditionally
+        granted — a conflicting holder blocks it (and, FIFO, everything
+        behind it).  Pins the behaviour the docstring used to contradict."""
+        policy = FifoGrantPolicy()
+        obj = ManagedObject("X", value=0)
+        chosen = policy.select(
+            obj, [entry("B", assign(1)), entry("C", add(1))],
+            ConflictChecker(), now=0.0,
+            holders={"A": (add(5),)})
+        assert chosen == []
+
+    def test_head_own_holder_entry_ignored(self):
+        """A waiter's own held ops must not block its grant (a txn may
+        hold one member while queued for another)."""
+        policy = FifoGrantPolicy()
+        obj = ManagedObject("X", value=0)
+        chosen = policy.select(
+            obj, [entry("B", assign(1))],
+            ConflictChecker(), now=0.0,
+            holders={"B": (add(5),)})
+        assert [e.txn_id for e in chosen] == ["B"]
+
+    def test_unblocked_head_granted_with_compatible_holders(self):
+        policy = FifoGrantPolicy()
+        obj = ManagedObject("X", value=0)
+        chosen = policy.select(
+            obj, [entry("B", add(1)), entry("C", subtract(2)),
+                  entry("D", assign(9))],
+            ConflictChecker(), now=0.0,
+            holders={"A": (add(3),)})
+        assert [e.txn_id for e in chosen] == ["B", "C"]
+
 
 class TestLockDenyPolicy:
     def test_rejects_bad_threshold(self):
@@ -131,6 +164,32 @@ class TestPriorityAgingPolicy:
                                                 now=4.0)   # 8 < 10
         assert policy.deny_fresh_invocation(obj, add(1), checker,
                                             now=5.0)       # 10 >= 10
+
+    def test_reordered_head_still_blocked_by_holder(self):
+        """Head-of-queue semantics after aging reorder: the aged head is
+        still subject to the holder conflict check — priority never
+        overrides Table I."""
+        policy = PriorityAgingPolicy(aging_rate=1.0)
+        obj = ManagedObject("X", value=0)
+        chosen = policy.select(
+            obj,
+            [entry("YOUNG", add(1), arrival=9.0),
+             entry("OLD", assign(0), arrival=0.0)],
+            ConflictChecker(), now=10.0,
+            holders={"H": (add(5),)})
+        # OLD outranks YOUNG but conflicts with holder H; FIFO-style
+        # no-overtake then blocks YOUNG behind it too.
+        assert chosen == []
+
+    def test_reordered_head_granted_when_unblocked(self):
+        policy = PriorityAgingPolicy(aging_rate=1.0)
+        obj = ManagedObject("X", value=0)
+        chosen = policy.select(
+            obj,
+            [entry("YOUNG", add(1), arrival=9.0),
+             entry("OLD", assign(0), arrival=0.0)],
+            ConflictChecker(), now=10.0)
+        assert [e.txn_id for e in chosen] == ["OLD"]
 
 
 class TestValueThrottle:
