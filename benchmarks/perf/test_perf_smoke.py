@@ -1,0 +1,38 @@
+"""Smoke run of the GTM perf harness (``python -m repro.bench --profile``).
+
+Not a paper artifact — this pins the acceptance bar of the conflict
+kernel optimisation: the bitmask engine must beat the reference engine
+by >=3x on the contended hot path, the throughput run must produce
+byte-identical outcomes on every engine/shard variant, and the embedded
+differential campaign must report zero divergences.  Runs the ``smoke``
+profile so it stays inside the benchmark-suite budget.
+"""
+
+import json
+
+from repro.bench.__main__ import main as bench_main
+from repro.bench.perf import run_perf
+
+
+def test_perf_smoke_meets_acceptance_bar():
+    payload = run_perf("smoke")
+    hot_path = payload["hot_path"]
+    assert hot_path["speedup"] >= 3.0, (
+        f"bitmask hot path only {hot_path['speedup']:.2f}x faster "
+        f"than reference (need >=3x)")
+    assert payload["differential"]["divergences"] == 0
+    assert payload["throughput"]["outcomes_identical"] is True
+    # every variant reports a full latency profile
+    for variant in payload["throughput"]["variants"]:
+        assert variant["ops_per_sec"] > 0
+        assert variant["grant_latency_p99_us"] >= \
+            variant["grant_latency_p50_us"] >= 0
+
+
+def test_bench_cli_writes_json_and_exits_clean(tmp_path):
+    target = tmp_path / "BENCH_gtm.json"
+    exit_code = bench_main(["--profile", "smoke", "--json", str(target)])
+    assert exit_code == 0
+    payload = json.loads(target.read_text())
+    assert payload["profile"] == "smoke"
+    assert payload["differential"]["divergences"] == 0

@@ -4,6 +4,13 @@ With no arguments, lists the registered experiments.  With ids (or
 ``all``), runs each and prints the regenerated table/figure data;
 ``--output-dir DIR`` additionally archives each experiment's output as
 ``DIR/<id>.txt``.
+
+``--profile smoke|full`` instead runs the GTM perf harness
+(:mod:`repro.bench.perf`): hot-path microbenches (reference vs bitmask
+conflict engine), the windowed throughput run, and the differential
+equivalence campaign — writing the results to ``BENCH_gtm.json``
+(``--json PATH`` to relocate).  Exits non-zero when the differential
+mode reports any divergence, so CI can gate on it.
 """
 
 from __future__ import annotations
@@ -12,6 +19,8 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.bench.perf import PROFILES, render_summary, run_perf, \
+    write_bench_json
 from repro.bench.registry import get_experiment, list_experiments
 
 
@@ -26,7 +35,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("-o", "--output-dir", default=None,
                         help="also write each experiment's output to "
                              "<dir>/<id>.txt")
+    parser.add_argument("--profile", choices=sorted(PROFILES),
+                        default=None,
+                        help="run the GTM perf harness at this profile "
+                             "and emit BENCH_gtm.json")
+    parser.add_argument("--json", default="BENCH_gtm.json",
+                        help="output path for the perf harness results "
+                             "(default: %(default)s)")
     arguments = parser.parse_args(argv)
+
+    if arguments.profile is not None:
+        payload = run_perf(arguments.profile)
+        target = write_bench_json(payload, arguments.json)
+        print(render_summary(payload))
+        print(f"\nwrote {target}")
+        if payload["differential"]["divergences"]:
+            print("DIFFERENTIAL DIVERGENCE DETECTED", file=sys.stderr)
+            return 1
+        return 0
 
     if not arguments.experiments:
         print("Registered experiments:\n")

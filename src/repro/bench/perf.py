@@ -1,0 +1,394 @@
+"""The GTM perf harness: microbenches, throughput, and BENCH_gtm.json.
+
+Three measurements, all seeded and deterministic in *behaviour* (wall
+times vary, outcomes never do):
+
+- **conflict microbench** — ``checker.object_blocked`` on an object with
+  ``waiters`` compatible READ holders, probed with READ and ASSIGN
+  invocations (both compatible with every holder — the worst case, since
+  the reference scan cannot short-circuit).  The reference engine
+  rebuilds ``holder_ops`` per test; the bitmask engine answers from the
+  incremental lock-set summary in O(1).
+- **pump microbench** — ``admission.pump_unlock`` on a hot object whose
+  ASSIGN holder blocks ``waiters`` queued ASSIGNs.  The reference grant
+  policy judges each waiter pairwise against every blocked-ahead entry
+  (O(n²) per pump); the bitmask engine uses mask round-sets (O(n)).
+- **throughput run** — a windowed stream of mutually compatible ADDSUB
+  transactions driven straight at the facade (no simulator), reporting
+  ops/sec and p50/p99 grant/commit latencies, run once per engine
+  variant; the harness asserts the final permanent state and commit
+  counts are identical across variants before reporting.
+
+``run_perf`` additionally runs the differential fuzz campaign
+(:mod:`repro.check.differential`) and folds the divergence count into
+the emitted ``BENCH_gtm.json`` — a benchmark that got faster by
+changing behaviour must fail loudly, not report a speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.check.differential import run_differential_campaign
+from repro.check.fuzzer import FuzzConfig
+from repro.core.conflicts import build_conflict_checker
+from repro.core.gtm import GlobalTransactionManager, GTMConfig
+from repro.core.objects import ManagedObject
+from repro.core.opclass import add, assign, read
+from repro.errors import GTMError
+
+_CLOCK = time.perf_counter
+
+
+@dataclass(frozen=True)
+class PerfProfile:
+    """One calibration of the harness (``smoke`` for CI, ``full`` local)."""
+
+    name: str
+    #: Holders/waiters on the contended object of both microbenches.
+    waiters: int = 64
+    conflict_iters: int = 2000
+    pump_iters: int = 150
+    #: Throughput run: open-transaction window × rounds × ops each.
+    window: int = 8
+    rounds: int = 60
+    ops_per_txn: int = 3
+    throughput_objects: int = 16
+    #: Differential fuzz episodes per scheduler.
+    differential_episodes: int = 25
+
+    def scaled(self) -> "PerfProfile":
+        return self
+
+
+PROFILES: dict[str, PerfProfile] = {
+    "smoke": PerfProfile(name="smoke"),
+    "full": PerfProfile(name="full", conflict_iters=20000, pump_iters=600,
+                        rounds=400, differential_episodes=120),
+}
+
+#: Engine/shard variants measured by the throughput run.
+THROUGHPUT_VARIANTS: tuple[tuple[str, str, int], ...] = (
+    ("reference", "reference", 1),
+    ("bitmask", "bitmask", 1),
+    ("bitmask-8shard", "bitmask", 8),
+)
+
+
+def get_profile(name: str) -> PerfProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise GTMError(
+            f"unknown perf profile {name!r}; expected one of "
+            f"{tuple(PROFILES)}") from None
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(fraction * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+# ---------------------------------------------------------------------------
+# conflict microbench
+# ---------------------------------------------------------------------------
+
+
+def _holder_object(waiters: int) -> ManagedObject:
+    """An object with ``waiters`` compatible READ holders (summary kept)."""
+    obj = ManagedObject("X", value=100)
+    for index in range(waiters):
+        obj.grant_pending(f"H{index}", read())
+    return obj
+
+
+def bench_conflict(profile: PerfProfile) -> dict[str, Any]:
+    obj = _holder_object(profile.waiters)
+    probes = (read(), assign(7))
+    timings: dict[str, float] = {}
+    answers: dict[str, tuple[bool, ...]] = {}
+    for engine in ("reference", "bitmask"):
+        checker = build_conflict_checker(engine)
+        blocked = _CLOCK  # keep the loop body free of attribute lookups
+        start = blocked()
+        for _ in range(profile.conflict_iters):
+            for probe in probes:
+                checker.object_blocked(obj, "probe", probe)
+        timings[engine] = blocked() - start
+        answers[engine] = tuple(
+            checker.object_blocked(obj, "probe", probe) for probe in probes)
+    if answers["reference"] != answers["bitmask"]:
+        raise GTMError(
+            f"conflict microbench: engines disagree: {answers!r}")
+    return {
+        "holders": profile.waiters,
+        "iterations": profile.conflict_iters,
+        "probes": [p.describe() for p in probes],
+        "reference_s": timings["reference"],
+        "bitmask_s": timings["bitmask"],
+        "speedup": timings["reference"] / max(timings["bitmask"], 1e-12),
+    }
+
+
+# ---------------------------------------------------------------------------
+# pump microbench
+# ---------------------------------------------------------------------------
+
+
+def _contended_gtm(engine: str, waiters: int) -> GlobalTransactionManager:
+    """One ASSIGN holder on ``hot``; ``waiters`` queued ASSIGNs behind it."""
+    gtm = GlobalTransactionManager(GTMConfig(conflict_engine=engine))
+    gtm.create_object("hot", value=100)
+    gtm.begin("H0")
+    outcome = gtm.invoke("H0", "hot", assign(1))
+    if outcome != "granted":
+        raise GTMError(f"pump bench setup: holder not granted: {outcome}")
+    for index in range(waiters):
+        txn_id = f"W{index}"
+        gtm.begin(txn_id)
+        outcome = gtm.invoke(txn_id, "hot", assign(index))
+        if outcome != "queued":
+            raise GTMError(
+                f"pump bench setup: {txn_id} not queued: {outcome}")
+    return gtm
+
+
+def bench_pump(profile: PerfProfile) -> dict[str, Any]:
+    timings: dict[str, float] = {}
+    grants: dict[str, int] = {}
+    for engine in ("reference", "bitmask"):
+        gtm = _contended_gtm(engine, profile.waiters)
+        obj = gtm.object("hot")
+        pump = gtm.admission.pump_unlock
+        granted = len(pump(obj))      # warmup: reach the steady state
+        start = _CLOCK()
+        for _ in range(profile.pump_iters):
+            granted += len(pump(obj))
+        timings[engine] = _CLOCK() - start
+        grants[engine] = granted
+        if len(obj.waiting) != profile.waiters:
+            raise GTMError(
+                f"pump bench ({engine}): queue drained unexpectedly")
+    if grants["reference"] != grants["bitmask"]:
+        raise GTMError(f"pump microbench: engines disagree: {grants!r}")
+    return {
+        "waiters": profile.waiters,
+        "iterations": profile.pump_iters,
+        "reference_s": timings["reference"],
+        "bitmask_s": timings["bitmask"],
+        "reference_pump_us": timings["reference"] * 1e6
+        / profile.pump_iters,
+        "bitmask_pump_us": timings["bitmask"] * 1e6 / profile.pump_iters,
+        "speedup": timings["reference"] / max(timings["bitmask"], 1e-12),
+    }
+
+
+# ---------------------------------------------------------------------------
+# throughput run
+# ---------------------------------------------------------------------------
+
+
+def _throughput_run(engine: str, shards: int,
+                    profile: PerfProfile) -> dict[str, Any]:
+    """Windowed ADDSUB stream, driven straight at the facade."""
+    gtm = GlobalTransactionManager(
+        GTMConfig(conflict_engine=engine, lock_shards=shards))
+    for index in range(profile.throughput_objects):
+        gtm.create_object(f"obj{index}", value=1000)
+
+    grant_latencies: list[float] = []
+    commit_latencies: list[float] = []
+    operations = 0
+    commits = 0
+    txn_counter = 0
+    start = _CLOCK()
+    for round_index in range(profile.rounds):
+        window: list[str] = []
+        for slot in range(profile.window):
+            txn_id = f"T{txn_counter}"
+            txn_counter += 1
+            gtm.begin(txn_id)
+            window.append(txn_id)
+            for op_index in range(profile.ops_per_txn):
+                # deterministic spread: every (txn, op) pair lands on a
+                # fixed object; ADDSUB is compatible with itself, so the
+                # window never blocks and every invoke measures the pure
+                # admission cost.
+                target = (txn_counter * 7 + op_index * 13) \
+                    % profile.throughput_objects
+                invocation = add((txn_counter + op_index) % 17 - 8 or 1)
+                t0 = _CLOCK()
+                outcome = gtm.invoke(txn_id, f"obj{target}", invocation)
+                grant_latencies.append(_CLOCK() - t0)
+                if outcome != "granted":
+                    raise GTMError(
+                        f"throughput run ({engine}/{shards}): {txn_id} "
+                        f"unexpectedly {outcome}")
+                gtm.apply(txn_id, f"obj{target}", invocation)
+                operations += 1
+        for txn_id in window:
+            t0 = _CLOCK()
+            gtm.request_commit(txn_id)
+            commit_latencies.append(_CLOCK() - t0)
+        commits += len(window)
+        gtm.pump_commits()
+    elapsed = _CLOCK() - start
+
+    grant_latencies.sort()
+    commit_latencies.sort()
+    digest = {
+        "commits": commits,
+        "final_values": {name: dict(obj.permanent)
+                         for name, obj in gtm.objects.items()},
+    }
+    return {
+        "engine": engine,
+        "lock_shards": shards,
+        "transactions": commits,
+        "operations": operations,
+        "elapsed_s": elapsed,
+        "ops_per_sec": operations / max(elapsed, 1e-12),
+        "txns_per_sec": commits / max(elapsed, 1e-12),
+        "grant_latency_p50_us": _percentile(grant_latencies, 0.50) * 1e6,
+        "grant_latency_p99_us": _percentile(grant_latencies, 0.99) * 1e6,
+        "commit_latency_p50_us": _percentile(commit_latencies, 0.50) * 1e6,
+        "commit_latency_p99_us": _percentile(commit_latencies, 0.99) * 1e6,
+        "_digest": digest,
+    }
+
+
+def bench_throughput(profile: PerfProfile) -> dict[str, Any]:
+    runs = [_throughput_run(engine, shards, profile)
+            for _, engine, shards in THROUGHPUT_VARIANTS]
+    digests = [run.pop("_digest") for run in runs]
+    identical = all(digest == digests[0] for digest in digests[1:])
+    if not identical:
+        raise GTMError(
+            "throughput run: engine variants produced different outcomes")
+    reference = next(r for r in runs if r["engine"] == "reference"
+                     and r["lock_shards"] == 1)
+    bitmask = next(r for r in runs if r["engine"] == "bitmask"
+                   and r["lock_shards"] == 1)
+    return {
+        "variants": runs,
+        "outcomes_identical": identical,
+        "bitmask_vs_reference_ops_speedup":
+            bitmask["ops_per_sec"] / max(reference["ops_per_sec"], 1e-12),
+    }
+
+
+# ---------------------------------------------------------------------------
+# differential equivalence
+# ---------------------------------------------------------------------------
+
+
+def bench_differential(profile: PerfProfile,
+                       seed: int = 2008) -> dict[str, Any]:
+    per_scheduler: list[dict[str, Any]] = []
+    divergences = 0
+    for scheduler in ("gtm", "2pl", "optimistic"):
+        report = run_differential_campaign(
+            FuzzConfig(scheduler=scheduler), seed=seed,
+            episodes=profile.differential_episodes)
+        divergences += len(report.divergent)
+        per_scheduler.append({
+            "scheduler": scheduler,
+            "episodes": report.episodes,
+            "divergences": len(report.divergent),
+            "detail": [c.summary() for c in report.divergent[:3]],
+        })
+    return {
+        "seed": seed,
+        "episodes_per_scheduler": profile.differential_episodes,
+        "schedulers": per_scheduler,
+        "divergences": divergences,
+    }
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+
+
+def run_perf(profile_name: str = "smoke",
+             seed: int = 2008) -> dict[str, Any]:
+    """Run every stage and assemble the ``BENCH_gtm.json`` payload."""
+    profile = get_profile(profile_name)
+    conflict = bench_conflict(profile)
+    pump = bench_pump(profile)
+    throughput = bench_throughput(profile)
+    differential = bench_differential(profile, seed=seed)
+    reference_hot = conflict["reference_s"] + pump["reference_s"]
+    optimized_hot = conflict["bitmask_s"] + pump["bitmask_s"]
+    return {
+        "profile": profile.name,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "conflict_microbench": conflict,
+        "pump_microbench": pump,
+        "hot_path": {
+            "reference_s": reference_hot,
+            "optimized_s": optimized_hot,
+            "speedup": reference_hot / max(optimized_hot, 1e-12),
+        },
+        "throughput": throughput,
+        "differential": differential,
+    }
+
+
+def write_bench_json(payload: dict[str, Any],
+                     path: str | Path = "BENCH_gtm.json") -> Path:
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=False)
+                      + "\n", encoding="utf-8")
+    return target
+
+
+def render_summary(payload: dict[str, Any]) -> str:
+    """Terminal one-pager of a BENCH_gtm.json payload."""
+    conflict = payload["conflict_microbench"]
+    pump = payload["pump_microbench"]
+    hot = payload["hot_path"]
+    throughput = payload["throughput"]
+    differential = payload["differential"]
+    lines = [
+        f"profile: {payload['profile']}  "
+        f"(python {payload['python']})",
+        f"conflict test  ({conflict['holders']} holders, "
+        f"{conflict['iterations']} iters): "
+        f"reference {conflict['reference_s']:.4f}s, "
+        f"bitmask {conflict['bitmask_s']:.4f}s  "
+        f"-> {conflict['speedup']:.1f}x",
+        f"unlock pump    ({pump['waiters']} waiters, "
+        f"{pump['iterations']} pumps): "
+        f"reference {pump['reference_pump_us']:.1f}us/pump, "
+        f"bitmask {pump['bitmask_pump_us']:.1f}us/pump  "
+        f"-> {pump['speedup']:.1f}x",
+        f"hot path combined: {hot['speedup']:.1f}x "
+        f"({hot['reference_s']:.4f}s -> {hot['optimized_s']:.4f}s)",
+    ]
+    for run in throughput["variants"]:
+        lines.append(
+            f"throughput [{run['engine']}/{run['lock_shards']} shard]: "
+            f"{run['ops_per_sec']:.0f} ops/s, grant p50 "
+            f"{run['grant_latency_p50_us']:.1f}us p99 "
+            f"{run['grant_latency_p99_us']:.1f}us")
+    lines.append(
+        f"outcomes identical across engines/shards: "
+        f"{throughput['outcomes_identical']}")
+    lines.append(
+        f"differential fuzz: "
+        f"{differential['episodes_per_scheduler']} episodes x "
+        f"{len(differential['schedulers'])} schedulers, "
+        f"{differential['divergences']} divergence(s)")
+    return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""Differential equivalence harness for the conflict-engine optimisation.
+
+The bitmask kernel, the incremental lock-set summaries and the sharded
+lock table are *pure* performance work: every scheduling decision must
+be bit-identical to the reference implementation.  This module proves it
+empirically — the same fuzz episodes the stress harness uses are run
+once per engine variant and the full observable outcome is compared:
+
+- the episode trace (:func:`repro.metrics.trace.episode_trace`): final
+  values, scheduler counters and every transaction timeline;
+- the permanent state of every managed object (values + existence);
+- the episode invariants, including the lock-set-summary drift check.
+
+Three GTM variants run per episode: the pairwise reference engine, the
+bitmask engine on the flat lock table, and the bitmask engine on an
+8-shard table.  For the 2PL/optimistic baselines (which have no engine
+switch) the harness degrades to a run-twice determinism check, keeping
+the campaign interface uniform.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.check.fuzzer import (
+    EpisodeSpec,
+    FuzzConfig,
+    episode_workload,
+    generate_episode,
+)
+from repro.check.invariants import check_episode_invariants
+from repro.core.gtm import GTMConfig
+from repro.errors import WorkloadError
+from repro.metrics.trace import episode_trace
+from repro.schedulers.gtm_scheduler import GTMScheduler, GTMSchedulerConfig
+
+#: (label, GTMConfig overrides) for each GTM variant under comparison.
+GTM_VARIANTS: tuple[tuple[str, dict[str, Any]], ...] = (
+    ("reference", {"conflict_engine": "reference", "lock_shards": 1}),
+    ("bitmask", {"conflict_engine": "bitmask", "lock_shards": 1}),
+    ("bitmask-8shard", {"conflict_engine": "bitmask", "lock_shards": 8}),
+)
+
+
+@dataclass
+class VariantRun:
+    """One engine variant's observable outcome for one episode."""
+
+    label: str
+    trace: dict[str, Any] | None = None
+    permanent: dict[str, Any] | None = None
+    violations: list[str] = field(default_factory=list)
+    crash: str | None = None
+
+
+@dataclass
+class EpisodeComparison:
+    """The per-episode verdict: every way the variants disagreed."""
+
+    spec: EpisodeSpec
+    runs: list[VariantRun]
+    diffs: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diffs
+
+    def summary(self) -> str:
+        lines = [self.spec.describe()]
+        lines.extend(f"  DIVERGENCE: {diff}" for diff in self.diffs)
+        return "\n".join(lines)
+
+
+@dataclass
+class DifferentialReport:
+    """Aggregate of a differential campaign."""
+
+    config: FuzzConfig
+    seed: int
+    episodes: int
+    divergent: list[EpisodeComparison] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergent
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else \
+            f"{len(self.divergent)} DIVERGENT EPISODE(S)"
+        return (f"[differential {self.config.scheduler}] "
+                f"{self.episodes} episodes (seed {self.seed}): {status}")
+
+
+def _gtm_variant_scheduler(spec: EpisodeSpec,
+                           overrides: dict[str, Any]) -> GTMScheduler:
+    return GTMScheduler(GTMSchedulerConfig(
+        gtm_config=GTMConfig(**overrides),
+        wait_timeout=spec.wait_timeout))
+
+
+def _run_variant(spec: EpisodeSpec, label: str,
+                 build: Callable[[], Any]) -> VariantRun:
+    run = VariantRun(label=label)
+    scheduler = build()
+    try:
+        result = scheduler.run(episode_workload(spec))
+    except Exception:  # noqa: BLE001 - a variant-only crash IS a divergence
+        run.crash = traceback.format_exc(limit=8)
+        return run
+    run.trace = episode_trace(result)
+    gtm = getattr(scheduler, "last_gtm", None)
+    if gtm is not None:
+        run.permanent = {
+            name: {"exists": obj.exists, "members": dict(obj.permanent)}
+            for name, obj in gtm.objects.items()}
+        run.violations = check_episode_invariants(gtm)
+    return run
+
+
+def compare_episode(spec: EpisodeSpec) -> EpisodeComparison:
+    """Run every variant of one episode and diff the outcomes.
+
+    GTM episodes compare the three engine variants against each other;
+    baseline episodes compare two identical runs (determinism).
+    """
+    if spec.scheduler == "gtm":
+        runs = [_run_variant(spec, label,
+                             lambda o=overrides:
+                             _gtm_variant_scheduler(spec, o))
+                for label, overrides in GTM_VARIANTS]
+    elif spec.scheduler in ("2pl", "optimistic"):
+        from repro.check.runner import build_scheduler
+        runs = [_run_variant(spec, f"{spec.scheduler}-run{i}",
+                             lambda: build_scheduler(spec))
+                for i in (1, 2)]
+    else:
+        raise WorkloadError(f"unknown scheduler {spec.scheduler!r}")
+
+    comparison = EpisodeComparison(spec=spec, runs=runs)
+    baseline = runs[0]
+    for run in runs:
+        if run.crash is not None:
+            comparison.diffs.append(f"{run.label}: crashed:\n{run.crash}")
+        for violation in run.violations:
+            comparison.diffs.append(f"{run.label}: invariant: {violation}")
+    if any(run.crash for run in runs):
+        return comparison
+    for run in runs[1:]:
+        if run.trace != baseline.trace:
+            comparison.diffs.append(
+                f"{run.label} trace != {baseline.label} trace: "
+                f"{_first_trace_diff(baseline.trace, run.trace)}")
+        if run.permanent != baseline.permanent:
+            comparison.diffs.append(
+                f"{run.label} permanent state != {baseline.label}: "
+                f"{run.permanent!r} vs {baseline.permanent!r}")
+    return comparison
+
+
+def _first_trace_diff(a: dict[str, Any] | None,
+                      b: dict[str, Any] | None) -> str:
+    """Human-sized pointer at the first differing trace key."""
+    if a is None or b is None:
+        return f"{a!r} vs {b!r}"
+    for key in sorted(set(a) | set(b)):
+        if a.get(key) != b.get(key):
+            return f"key {key!r}: {a.get(key)!r} vs {b.get(key)!r}"
+    return "(no differing key found)"
+
+
+def run_differential_campaign(
+        config: FuzzConfig, seed: int, episodes: int,
+        max_divergences: int = 5,
+        progress: Callable[[int, EpisodeComparison], None] | None = None,
+) -> DifferentialReport:
+    """Run ``episodes`` seeded episodes through every variant."""
+    report = DifferentialReport(config=config, seed=seed,
+                                episodes=episodes)
+    for index in range(episodes):
+        spec = generate_episode(config, seed, index)
+        comparison = compare_episode(spec)
+        if progress is not None:
+            progress(index, comparison)
+        if not comparison.ok:
+            report.divergent.append(comparison)
+            if len(report.divergent) >= max_divergences:
+                break
+    return report

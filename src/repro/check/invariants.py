@@ -40,6 +40,12 @@ def _object_invariants(gtm: "GlobalTransactionManager") -> list[str]:
                 violations.append(
                     f"object {name!r}: {entry.txn_id!r} both granted and "
                     f"queued for member {entry.invocation.member!r}")
+        try:
+            # the incremental lock-set summary must equal a from-scratch
+            # rebuild — any drift means a mutator bypassed the summary.
+            obj.verify_summary()
+        except GTMError as exc:
+            violations.append(str(exc))
     return violations
 
 

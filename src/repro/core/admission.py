@@ -17,7 +17,8 @@ for per-shard lock tables later.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping
+import zlib
+from typing import Any, Callable, Iterator, Mapping
 
 from repro.errors import GTMError, ProtocolError
 from repro.core.conflicts import ConflictChecker
@@ -76,6 +77,72 @@ class LockTable:
         return tuple(self.objects.values())
 
 
+class ShardedLockTable:
+    """N hash-partitioned :class:`LockTable` shards, same interface.
+
+    Objects are routed by a stable crc32 of the object name (Python's
+    salted ``hash`` would shuffle shards across processes).  Admission
+    state lives entirely inside each :class:`ManagedObject`, so shard
+    count can never change behaviour — the differential harness asserts
+    1-shard and 8-shard runs are trace-identical.  Iteration order is
+    registration order regardless of shard count, which is what keeps
+    reports and final-value dumps byte-stable.
+
+    In-process the split buys contention-free directories for future
+    parallel front-ends (one lock / one event loop per shard); today it
+    is the seam the LockTable docstring reserved.
+    """
+
+    def __init__(self, shards: int = 8) -> None:
+        if shards < 1:
+            raise GTMError(f"shard count must be >= 1, got {shards}")
+        self.shard_count = shards
+        self.shards: tuple[LockTable, ...] = tuple(
+            LockTable() for _ in range(shards))
+        #: registration order, shared across shards (stable iteration).
+        self._order: list[str] = []
+
+    def shard_of(self, name: str) -> LockTable:
+        index = zlib.crc32(name.encode("utf-8")) % self.shard_count
+        return self.shards[index]
+
+    def register(self, obj: ManagedObject) -> ManagedObject:
+        shard = self.shard_of(obj.name)
+        shard.register(obj)
+        self._order.append(obj.name)
+        return obj
+
+    def get(self, name: str) -> ManagedObject:
+        return self.shard_of(name).get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.shard_of(name)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._order)
+
+    @property
+    def objects(self) -> dict[str, ManagedObject]:
+        """Merged name -> object view, in registration order.
+
+        Built per access; use :meth:`get`/:meth:`values` on hot paths.
+        """
+        return {name: self.get(name) for name in self._order}
+
+    def values(self) -> tuple[ManagedObject, ...]:
+        return tuple(self.get(name) for name in self._order)
+
+
+def build_lock_table(shards: int = 1) -> "LockTable | ShardedLockTable":
+    """One flat table for ``shards == 1``, else the sharded directory."""
+    if shards == 1:
+        return LockTable()
+    return ShardedLockTable(shards)
+
+
 class AdmissionController:
     """Algorithm 2 (grant-or-wait) and Algorithm 11 (unlock) in one place.
 
@@ -113,11 +180,15 @@ class AdmissionController:
             if existing == invocation:
                 return GrantOutcome.GRANTED
 
-        blockers = self.conflicting_holders(obj, txn.txn_id, invocation)
-        throttled = not self.throttle.admits(obj, invocation)
-        denied = self.grant_policy.deny_fresh_invocation(
-            obj, invocation, self.checker, now)
-        if not blockers and not throttled and not denied:
+        # The three admission checks short-circuit in cost order: the
+        # O(1) summary conflict test first, the throttle and the grant
+        # policy's deny hook only on the uncontended path — a blocked
+        # request queues regardless of what they would say.
+        blocked = self.checker.object_blocked(obj, txn.txn_id, invocation)
+        if not blocked \
+                and self.throttle.admits(obj, invocation) \
+                and not self.grant_policy.deny_fresh_invocation(
+                    obj, invocation, self.checker, now):
             self.grant(txn, obj, invocation, now)
             return GrantOutcome.GRANTED
 
@@ -126,14 +197,16 @@ class AdmissionController:
         txn.record_wait(obj.name, now)
         txn.operations.setdefault(obj.name, {})[invocation.member] = \
             invocation
-        obj.waiting.append(WaitEntry(txn.txn_id, invocation, arrival=now))
+        obj.push_waiting(WaitEntry(txn.txn_id, invocation, arrival=now))
         if not obj.is_pending(txn.txn_id):
             txn.clear_temp(obj.name)  # A_temp^X = ⊥ (no grant held)
         self.bus.on_wait(txn, obj, invocation, now)
-        if blockers:
+        if blocked:
             outcome = self._police_deadlock(txn, obj, invocation)
             if outcome is not None:
                 return outcome
+        if obj.is_waiting(txn.txn_id):
+            obj.wait_edge_epochs[txn.txn_id] = obj.lock_epoch
         return GrantOutcome.QUEUED
 
     def _validate(self, txn: GTMTransaction, obj: ManagedObject,
@@ -251,8 +324,7 @@ class AdmissionController:
               invocation: Invocation, now: float) -> None:
         self.deadlock_policy.on_stop_waiting(txn.txn_id)
         already_held = invocation.member in obj.pending.get(txn.txn_id, {})
-        obj.pending.setdefault(txn.txn_id, {})[invocation.member] = \
-            invocation
+        obj.grant_pending(txn.txn_id, invocation)
         if txn.txn_id not in obj.read:
             # first grant on this object: snapshot the whole object.
             # Members already granted keep their snapshot — each member's
@@ -300,12 +372,7 @@ class AdmissionController:
             txn.transition(_TS.ABORTING)
         obj.aborting.add(txn_id)
         txn.clear_temp(obj.name)
-        obj.read.pop(txn_id, None)
-        obj.new.pop(txn_id, None)
-        obj.pending.pop(txn_id, None)
-        obj.committing.pop(txn_id, None)
-        obj.remove_waiting(txn_id)
-        obj.sleeping.discard(txn_id)
+        obj.release_claims(txn_id)
 
     # ------------------------------------------------------------------
     # Algorithm 11 — ⟨unlock, X⟩
@@ -328,7 +395,10 @@ class AdmissionController:
                       if entry.txn_id not in obj.sleeping]
         if not candidates:
             return ()
-        holders = obj.holder_ops(include_sleeping=False)
+        # Summary engines answer the per-waiter blocked test in O(1), so
+        # the pump skips materialising the holder_ops dict entirely.
+        holders = (None if self.checker.uses_summaries
+                   else obj.holder_ops(include_sleeping=False))
         batch = self.grant_policy.select(obj, candidates, self.checker,
                                          self._clock(), holders)
         granted: list[str] = []
@@ -368,7 +438,16 @@ class AdmissionController:
                 continue
             if entry.txn_id in obj.sleeping:
                 continue
+            if obj.wait_edge_epochs.get(entry.txn_id) == obj.lock_epoch:
+                # the blocker state (pending/committing/sleeping/waiting)
+                # has not moved since this waiter's edges were recorded,
+                # so re-deriving them would reproduce the same graph.  A
+                # cycle can only close through a mutation, and every
+                # mutation bumps the epoch.
+                continue
             # drop the stale edges before re-recording (a waiter waits on
             # one object at a time, so this only clears this object's).
             self.deadlock_policy.on_stop_waiting(entry.txn_id)
             self._police_deadlock(txn, obj, entry.invocation)
+            if obj.is_waiting(entry.txn_id):
+                obj.wait_edge_epochs[entry.txn_id] = obj.lock_epoch

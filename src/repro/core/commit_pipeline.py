@@ -140,8 +140,9 @@ class CommitPipeline:
 
         if txn.is_in(_TS.ACTIVE):
             txn.transition(_TS.COMMITTING)
-        invocations = obj.pending[txn.txn_id]
-        obj.committing[txn.txn_id] = dict(invocations)
+        # X_pending -> X_committing atomically (reconcile reads only
+        # X_read / A_temp / X_permanent, so staging first is safe).
+        invocations = obj.stage_commit(txn.txn_id)
         new_values: dict[str, Any] = {}
         for invocation in invocations.values():
             new_values.update(self.reconcile(txn, obj, invocation))
@@ -151,7 +152,6 @@ class CommitPipeline:
         # "req commit" row and cleared only at the commit row.  The two
         # clearing points are observationally equivalent (X_new is already
         # staged); we follow Table II so the replayed trace matches it.
-        del obj.pending[txn.txn_id]       # X_pending -= (A, op)
         self.bus.on_local_commit(txn, obj, now)
         return True
 
@@ -219,12 +219,10 @@ class CommitPipeline:
 
         for obj, new_values in staged:
             self._apply_permanent(obj, new_values)
-            invocations = obj.committing.pop(txn_id)
+            invocations = obj.retire_committer(txn_id)
             obj.committed.append(
                 CommitRecord(txn_id, tuple(invocations.values()),
                              commit_time=now))
-            obj.new.pop(txn_id, None)
-            obj.read.pop(txn_id, None)    # X_read^A = ⊥ (see local_commit)
         txn.finish(_TS.COMMITTED, now)
         self._on_finished(txn_id)
         self.history.record_commit(txn_id)

@@ -64,11 +64,28 @@ class CompatibilityMatrix:
         for pair in self._pairs:
             if not 1 <= len(pair) <= 2:
                 raise GTMError(f"malformed compatibility pair {pair!r}")
+        # Compiled form: per class, the bitmask of CONFLICTING classes.
+        # ``conflict_masks()[a.bit] >> b.bit & 1`` is the whole Table I
+        # test — one shift and one AND instead of a frozenset build and
+        # a set lookup per pair.
+        self._conflict_masks: tuple[int, ...] = tuple(
+            sum((1 << b.bit) for b in OperationClass
+                if frozenset({a, b}) not in self._pairs)
+            for a in OperationClass)
 
     def compatible_classes(self, a: OperationClass,
                            b: OperationClass) -> bool:
         """True when classes ``a`` and ``b`` commute (Table I)."""
         return frozenset({a, b}) in self._pairs
+
+    def conflict_masks(self) -> tuple[int, ...]:
+        """Table I compiled to bitmasks, indexed by ``OperationClass.bit``.
+
+        Bit ``b.bit`` of ``conflict_masks()[a.bit]`` is set iff classes
+        ``a`` and ``b`` do NOT commute.  The matrix is symmetric, so the
+        compiled masks are too.
+        """
+        return self._conflict_masks
 
     def compatible_with(self, a: OperationClass) -> frozenset[OperationClass]:
         """All classes compatible with ``a``."""
@@ -112,6 +129,8 @@ class LogicalDependence:
     groups: tuple[frozenset[str], ...] = ()
     _member_to_group: Mapping[str, int] = field(init=False, repr=False,
                                                 compare=False, default=None)
+    _group_members: Mapping[str, tuple[str, ...]] = field(
+        init=False, repr=False, compare=False, default=None)
 
     def __post_init__(self) -> None:
         mapping: dict[str, int] = {}
@@ -122,6 +141,9 @@ class LogicalDependence:
                         f"member {member!r} appears in two dependence groups")
                 mapping[member] = index
         object.__setattr__(self, "_member_to_group", mapping)
+        object.__setattr__(self, "_group_members", {
+            member: tuple(sorted(self.groups[index]))
+            for member, index in mapping.items()})
 
     @classmethod
     def of(cls, *groups: Iterable[str]) -> "LogicalDependence":
@@ -138,6 +160,18 @@ class LogicalDependence:
         group_a = self._member_to_group.get(member_a)
         group_b = self._member_to_group.get(member_b)
         return group_a is not None and group_a == group_b
+
+    def dependent_members(self, member: str) -> tuple[str, ...]:
+        """Every member ``member`` may conflict with (itself included).
+
+        The bitmask kernel sums per-member occupancy over exactly this
+        tuple; group sizes are small and fixed, so the summary conflict
+        test stays O(|group|), independent of holder count.
+        """
+        group = self._group_members.get(member)
+        if group is None:
+            return (member,)
+        return group
 
 
 #: No declared dependencies: only same-member operations can conflict.

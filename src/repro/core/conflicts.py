@@ -3,11 +3,27 @@
 "Transactions A and B are in conflict on X, (A, B) ∈ CONFLICT_X, if A is
 operating on X and B requests to perform an operation that is not
 compatible with the set of current operations of A, or vice-versa."
+
+Two engines implement the test:
+
+- :class:`ConflictChecker` — the reference: Definition 1 evaluated
+  pairwise through :func:`~repro.core.compatibility.invocations_compatible`,
+  O(holders × members) per object-level test;
+- :class:`BitmaskConflictChecker` — the compiled kernel: Table I folded
+  into per-class conflict bitmasks
+  (:meth:`~repro.core.compatibility.CompatibilityMatrix.conflict_masks`)
+  and object-level tests answered from the object's incremental
+  :class:`~repro.core.objects.LockSetSummary` in O(1) per request.
+
+Both engines are semantically identical by construction; the property
+suite asserts pairwise agreement on every class pair and the
+differential fuzz harness (``repro.check.differential``) asserts
+trace-identical episodes.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.core.compatibility import (
     CompatibilityMatrix,
@@ -16,11 +32,23 @@ from repro.core.compatibility import (
     LogicalDependence,
     invocations_compatible,
 )
-from repro.core.opclass import Invocation
+from repro.core.opclass import WHOLE_OBJECT_MASK, Invocation, OperationClass
+from repro.errors import GTMError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.objects import LockSetSummary, ManagedObject
+
+#: Names accepted by :func:`build_conflict_checker` / ``GTMConfig``.
+CONFLICT_ENGINES = ("bitmask", "reference")
 
 
 class ConflictChecker:
     """Evaluates CONFLICT_X between a requested op and granted ops."""
+
+    #: True when the engine answers object-level tests from the
+    #: object's :class:`~repro.core.objects.LockSetSummary` — the
+    #: admission layer then skips building ``holder_ops`` dicts.
+    uses_summaries = False
 
     def __init__(self, matrix: CompatibilityMatrix = DEFAULT_MATRIX,
                  dependence: LogicalDependence = INDEPENDENT_MEMBERS) -> None:
@@ -46,3 +74,199 @@ class ConflictChecker:
             if self.in_conflict(requested, op):
                 return txn_id
         return None
+
+    def object_blocked(self, obj: "ManagedObject", txn_id: str,
+                       invocation: Invocation) -> bool:
+        """Does the effective lock set of *other* holders block this op?
+
+        The effective set is ``(pending − sleeping) ∪ committing`` with
+        ``txn_id``'s own invocations excluded — exactly the Algorithm 2
+        admission test.  The reference engine walks the holders.
+        """
+        holders = obj.holder_ops(exclude=txn_id, include_sleeping=False)
+        return any(self.conflicts_with_any(invocation, ops)
+                   for ops in holders.values())
+
+    def new_round_set(self) -> "PairwiseRoundSet":
+        """An accumulator for one grant round (see ``GrantPolicy``)."""
+        return PairwiseRoundSet(self)
+
+
+class PairwiseRoundSet:
+    """Round accumulator for the reference engine: a list, probed O(n)."""
+
+    __slots__ = ("_checker", "_ops")
+
+    def __init__(self, checker: ConflictChecker) -> None:
+        self._checker = checker
+        self._ops: list[Invocation] = []
+
+    def add(self, invocation: Invocation) -> None:
+        self._ops.append(invocation)
+
+    def conflicts(self, invocation: Invocation) -> bool:
+        return self._checker.conflicts_with_any(invocation, self._ops)
+
+
+class MaskRoundSet:
+    """Round accumulator for the bitmask engine: O(1) add and probe.
+
+    Tracks per-member class-occupancy masks plus the whole-object and
+    overall class masks; a probe is two ANDs plus one AND per dependent
+    member, independent of how many invocations were added.
+    """
+
+    __slots__ = ("_masks", "_dependence", "_members", "_whole", "_all")
+
+    def __init__(self, masks: tuple[int, ...],
+                 dependence: LogicalDependence) -> None:
+        self._masks = masks
+        self._dependence = dependence
+        self._members: dict[str, int] = {}
+        self._whole = 0      # class occupancy of whole-object invocations
+        self._all = 0        # class occupancy of every invocation
+
+    def add(self, invocation: Invocation) -> None:
+        bit = 1 << invocation.op_class.bit
+        self._all |= bit
+        if invocation.op_class.is_whole_object:
+            self._whole |= bit
+        else:
+            member = invocation.member
+            self._members[member] = self._members.get(member, 0) | bit
+
+    def conflicts(self, invocation: Invocation) -> bool:
+        mask = self._masks[invocation.op_class.bit]
+        if invocation.op_class.is_whole_object:
+            return bool(mask & self._all)
+        if mask & self._whole:
+            return True
+        members = self._members
+        for member in self._dependence.dependent_members(invocation.member):
+            if mask & members.get(member, 0):
+                return True
+        return False
+
+
+class BitmaskConflictChecker(ConflictChecker):
+    """The compiled Table I kernel: one AND per pairwise test.
+
+    ``in_conflict`` is a shift-and-mask on the matrix's compiled
+    conflict masks; ``object_blocked`` counts conflicting effective
+    invocations straight off the object's lock-set summary and subtracts
+    the requester's own (at most members-per-object, usually 0-2) —
+    independent of how many transactions hold the object.
+    """
+
+    uses_summaries = True
+
+    def __init__(self, matrix: CompatibilityMatrix = DEFAULT_MATRIX,
+                 dependence: LogicalDependence = INDEPENDENT_MEMBERS) -> None:
+        super().__init__(matrix=matrix, dependence=dependence)
+        self._masks = matrix.conflict_masks()
+        #: per class, the conflicting classes split into whole-object
+        #: bits (INSERT/DELETE) and member-scoped bit positions.
+        self._member_bits = tuple(
+            tuple(b.bit for b in OperationClass
+                  if not b.is_whole_object
+                  and (mask >> b.bit) & 1)
+            for mask in self._masks)
+        self._whole_bits = tuple(
+            tuple(b.bit for b in OperationClass
+                  if b.is_whole_object and (mask >> b.bit) & 1)
+            for mask in self._masks)
+        self._all_bits = tuple(
+            tuple(b.bit for b in OperationClass if (mask >> b.bit) & 1)
+            for mask in self._masks)
+
+    # -- pairwise kernel ----------------------------------------------------
+
+    def in_conflict(self, requested: Invocation,
+                    granted: Invocation) -> bool:
+        a = requested.op_class
+        b = granted.op_class
+        if not (self._masks[a.bit] >> b.bit) & 1:
+            return False
+        if ((1 << a.bit) | (1 << b.bit)) & WHOLE_OBJECT_MASK:
+            return True
+        return self.dependence.dependent(requested.member, granted.member)
+
+    def conflicts_with_any(self, requested: Invocation,
+                           granted: Iterable[Invocation]) -> bool:
+        mask = self._masks[requested.op_class.bit]
+        a_bit = requested.op_class.bit
+        dependence = self.dependence
+        member = requested.member
+        for op in granted:
+            b = op.op_class
+            if not (mask >> b.bit) & 1:
+                continue
+            if ((1 << a_bit) | (1 << b.bit)) & WHOLE_OBJECT_MASK:
+                return True
+            if dependence.dependent(member, op.member):
+                return True
+        return False
+
+    # -- summary kernel -----------------------------------------------------
+
+    def summary_conflicts(self, summary: "LockSetSummary",
+                          invocation: Invocation) -> int:
+        """Count of effective invocations conflicting with ``invocation``."""
+        bit = invocation.op_class.bit
+        if invocation.op_class.is_whole_object:
+            # a whole-object op is compared at class level against every
+            # effective invocation, member independence never rescues.
+            totals = summary.class_totals
+            return sum(totals[b] for b in self._all_bits[bit])
+        totals = summary.class_totals
+        count = 0
+        for b in self._whole_bits[bit]:       # INSERT/DELETE holders
+            count += totals[b]
+        member_bits = self._member_bits[bit]
+        masks = summary.member_masks
+        counts = summary.member_counts
+        for member in self.dependence.dependent_members(invocation.member):
+            occupancy = masks.get(member)
+            if not occupancy:
+                continue
+            row = counts[member]
+            for b in member_bits:
+                if (occupancy >> b) & 1:
+                    count += row[b]
+        return count
+
+    def object_blocked(self, obj: "ManagedObject", txn_id: str,
+                       invocation: Invocation) -> bool:
+        total = self.summary_conflicts(obj.summary, invocation)
+        if total == 0:
+            return False
+        # subtract the requester's own contribution to the summary
+        # (its pending ops when not sleeping, plus any committing ops).
+        own = 0
+        if txn_id not in obj.sleeping:
+            own_pending = obj.pending.get(txn_id)
+            if own_pending:
+                own += sum(1 for op in own_pending.values()
+                           if self.in_conflict(invocation, op))
+        own_committing = obj.committing.get(txn_id)
+        if own_committing:
+            own += sum(1 for op in own_committing.values()
+                       if self.in_conflict(invocation, op))
+        return total > own
+
+    def new_round_set(self) -> "MaskRoundSet":
+        return MaskRoundSet(self._masks, self.dependence)
+
+
+def build_conflict_checker(engine: str,
+                           matrix: CompatibilityMatrix = DEFAULT_MATRIX,
+                           dependence: LogicalDependence
+                           = INDEPENDENT_MEMBERS) -> ConflictChecker:
+    """Engine name -> checker (``"bitmask"`` default, ``"reference"``)."""
+    if engine == "bitmask":
+        return BitmaskConflictChecker(matrix=matrix, dependence=dependence)
+    if engine == "reference":
+        return ConflictChecker(matrix=matrix, dependence=dependence)
+    raise GTMError(
+        f"unknown conflict engine {engine!r}; expected one of "
+        f"{CONFLICT_ENGINES}")

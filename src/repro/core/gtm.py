@@ -24,6 +24,8 @@ from repro.core.admission import (
     AdmissionController,
     GrantOutcome,
     LockTable,
+    ShardedLockTable,
+    build_lock_table,
 )
 from repro.core.commit_pipeline import CommitPipeline
 from repro.core.compatibility import (
@@ -32,7 +34,7 @@ from repro.core.compatibility import (
     INDEPENDENT_MEMBERS,
     LogicalDependence,
 )
-from repro.core.conflicts import ConflictChecker
+from repro.core.conflicts import build_conflict_checker
 from repro.core.events import EventBus, GTMEvent, GTMObserver, dispatch_event
 from repro.core.history import OperationLog
 from repro.core.objects import ManagedObject, ObjectBinding
@@ -74,6 +76,13 @@ class GTMConfig:
     #: Explicit policy (wound-wait / wait-die / graph / none);
     #: overrides the two legacy knobs above when set.
     deadlock_policy: DeadlockPolicy | None = None
+    #: Conflict engine: ``"bitmask"`` (compiled Table I + lock-set
+    #: summaries, the default) or ``"reference"`` (pairwise Definition 1,
+    #: kept as the differential-testing oracle).
+    conflict_engine: str = "bitmask"
+    #: Lock-table shards; 1 keeps the flat directory.  Shard count never
+    #: changes scheduling outcomes (asserted by the differential tests).
+    lock_shards: int = 1
 
 
 class GlobalTransactionManager:
@@ -92,8 +101,9 @@ class GlobalTransactionManager:
         self.sst_executor = sst_executor
         self.observer = observer or GTMObserver()
         self.bus = EventBus([self.observer])
-        self.checker = ConflictChecker(matrix=self.config.matrix,
-                                       dependence=self.config.dependence)
+        self.checker = build_conflict_checker(
+            self.config.conflict_engine, matrix=self.config.matrix,
+            dependence=self.config.dependence)
         self.transactions: dict[str, GTMTransaction] = {}
         #: operation log + commit order for serializability checking.
         self.history = OperationLog()
@@ -105,7 +115,8 @@ class GlobalTransactionManager:
         self.deadlock_policy.bind(
             lambda t: (self.transactions[t].begin_time
                        if t in self.transactions else 0.0))
-        self.lock_table = LockTable()
+        self.lock_table: LockTable | ShardedLockTable = \
+            build_lock_table(self.config.lock_shards)
         self.admission = AdmissionController(
             lock_table=self.lock_table, checker=self.checker,
             grant_policy=self.config.grant_policy,

@@ -26,7 +26,106 @@ from dataclasses import dataclass
 from typing import Any, Iterator, Mapping
 
 from repro.errors import GTMError
-from repro.core.opclass import Invocation
+from repro.core.opclass import OP_CLASS_COUNT, Invocation
+
+
+class LockSetSummary:
+    """Incremental summary of an object's *effective* lock set.
+
+    The effective set — ``(pending − sleeping) ∪ committing`` — is what
+    every Table I admission test runs against.  Instead of rebuilding a
+    ``holder_ops`` dict per test (O(holders × members)), the summary
+    keeps per-class occupancy counts that the bitmask conflict kernel
+    (:class:`~repro.core.conflicts.BitmaskConflictChecker`) consults in
+    O(1) per test:
+
+    - ``class_totals[bit]`` — effective invocations of that class,
+      across all holders and members;
+    - ``member_counts[member][bit]`` — the same, scoped to one data
+      member (whole-object INSERT/DELETE invocations are counted only
+      in ``class_totals``: they have no meaningful member);
+    - ``member_masks[member]`` — occupancy bitmask derived from the
+      counts, for fast zero checks.
+
+    Counts are keyed by (class, member) only — holder identity stays
+    out.  Excluding the requester's own invocations is done by the
+    caller subtracting its (small, known) op set from the totals.
+
+    Every mutation goes through :class:`ManagedObject`'s grant / commit
+    / abort / sleep mutators; ``rebuild_from`` recomputes the summary
+    from scratch so the differential harness can assert the incremental
+    bookkeeping never drifts.
+    """
+
+    __slots__ = ("class_totals", "member_counts", "member_masks",
+                 "total_ops")
+
+    def __init__(self) -> None:
+        self.class_totals: list[int] = [0] * OP_CLASS_COUNT
+        self.member_counts: dict[str, list[int]] = {}
+        self.member_masks: dict[str, int] = {}
+        self.total_ops = 0
+
+    def add(self, invocation: Invocation) -> None:
+        bit = invocation.op_class.bit
+        self.class_totals[bit] += 1
+        self.total_ops += 1
+        if invocation.op_class.is_whole_object:
+            return
+        member = invocation.member
+        counts = self.member_counts.get(member)
+        if counts is None:
+            counts = self.member_counts[member] = [0] * OP_CLASS_COUNT
+        counts[bit] += 1
+        self.member_masks[member] = self.member_masks.get(member, 0) \
+            | (1 << bit)
+
+    def remove(self, invocation: Invocation) -> None:
+        bit = invocation.op_class.bit
+        if self.class_totals[bit] <= 0:
+            raise GTMError(
+                f"lock summary underflow removing {invocation.describe()!r}")
+        self.class_totals[bit] -= 1
+        self.total_ops -= 1
+        if invocation.op_class.is_whole_object:
+            return
+        member = invocation.member
+        counts = self.member_counts[member]
+        counts[bit] -= 1
+        if counts[bit] == 0:
+            mask = self.member_masks[member] & ~(1 << bit)
+            if mask:
+                self.member_masks[member] = mask
+            else:
+                del self.member_masks[member]
+                del self.member_counts[member]
+
+    def rebuild_from(self, obj: "ManagedObject") -> None:
+        """Recompute from the object's raw sets (verification aid)."""
+        self.class_totals = [0] * OP_CLASS_COUNT
+        self.member_counts.clear()
+        self.member_masks.clear()
+        self.total_ops = 0
+        for txn_id, ops in obj.pending.items():
+            if txn_id in obj.sleeping:
+                continue
+            for op in ops.values():
+                self.add(op)
+        for ops in obj.committing.values():
+            for op in ops.values():
+                self.add(op)
+
+    def state(self) -> tuple:
+        """Canonical comparable form (for drift verification)."""
+        return (tuple(self.class_totals),
+                tuple(sorted((m, tuple(c))
+                             for m, c in self.member_counts.items())),
+                self.total_ops)
+
+    def __repr__(self) -> str:
+        return (f"<LockSetSummary ops={self.total_ops} "
+                f"classes={self.class_totals} "
+                f"members={sorted(self.member_masks)}>")
 
 
 @dataclass(frozen=True)
@@ -111,6 +210,18 @@ class ManagedObject:
         self.read: dict[str, dict[str, Any]] = {}
         #: X_new: txn -> (member -> reconciled value staged for the SST).
         self.new: dict[str, dict[str, Any]] = {}
+        #: Incremental class-occupancy summary of the effective lock set
+        #: ``(pending − sleeping) ∪ committing``; maintained by the
+        #: grant/commit/abort/sleep mutators below.
+        self.summary = LockSetSummary()
+        #: Monotone counter bumped on every change to the blocker-
+        #: relevant state (pending, committing, sleeping, waiting).  The
+        #: admission layer re-polices a waiter's wait-for edges only
+        #: when this moved since the edges were recorded.
+        self.lock_epoch = 0
+        #: txn -> ``lock_epoch`` at which its wait-for edges were last
+        #: recorded (owned by the admission layer's re-policing).
+        self.wait_edge_epochs: dict[str, int] = {}
 
     # -- membership helpers ---------------------------------------------------
 
@@ -150,6 +261,97 @@ class ManagedObject:
                 holders.setdefault(txn_id, []).extend(ops.values())
         return {txn_id: tuple(ops) for txn_id, ops in holders.items()}
 
+    # -- lock-state mutators ----------------------------------------------------
+    #
+    # Every change to pending/committing/sleeping/waiting flows through
+    # these, so the :class:`LockSetSummary` and the lock epoch stay
+    # exact without any rebuild on the hot path.
+
+    def _bump(self) -> None:
+        self.lock_epoch += 1
+
+    def grant_pending(self, txn_id: str, invocation: Invocation) -> None:
+        """Record a granted invocation in ``X_pending``."""
+        ops = self.pending.setdefault(txn_id, {})
+        previous = ops.get(invocation.member)
+        ops[invocation.member] = invocation
+        if txn_id not in self.sleeping:
+            if previous is not None:
+                self.summary.remove(previous)
+            self.summary.add(invocation)
+        self._bump()
+
+    def stage_commit(self, txn_id: str) -> dict[str, Invocation]:
+        """Move a holder from ``X_pending`` to ``X_committing``."""
+        invocations = dict(self.pending.pop(txn_id))
+        self.committing[txn_id] = invocations
+        if txn_id in self.sleeping:
+            # a committer is never sleeping (constraint iii), but keep
+            # the summary exact even if a caller breaks that: committing
+            # ops are always effective.
+            for op in invocations.values():
+                self.summary.add(op)
+        self._bump()
+        return invocations
+
+    def retire_committer(self, txn_id: str) -> dict[str, Invocation]:
+        """Drop a finished committer from ``X_committing``/``X_new``."""
+        invocations = self.committing.pop(txn_id)
+        for op in invocations.values():
+            self.summary.remove(op)
+        self.new.pop(txn_id, None)
+        self.read.pop(txn_id, None)   # X_read^A = ⊥
+        self._bump()
+        return invocations
+
+    def release_claims(self, txn_id: str) -> None:
+        """Drop every grant/stage/wait/sleep claim (abort path)."""
+        effective = txn_id not in self.sleeping
+        pending = self.pending.pop(txn_id, None)
+        if pending is not None and effective:
+            for op in pending.values():
+                self.summary.remove(op)
+        committing = self.committing.pop(txn_id, None)
+        if committing is not None:
+            for op in committing.values():
+                self.summary.remove(op)
+        self.read.pop(txn_id, None)
+        self.new.pop(txn_id, None)
+        self.remove_waiting(txn_id)
+        self.sleeping.discard(txn_id)
+        self._bump()
+
+    def mark_sleeping(self, txn_id: str) -> None:
+        """⟨sleep, X, A⟩: subtract A's grants from the effective set."""
+        if txn_id in self.sleeping:
+            return
+        self.sleeping.add(txn_id)
+        for op in self.pending.get(txn_id, {}).values():
+            self.summary.remove(op)
+        self._bump()
+
+    def wake_sleeping(self, txn_id: str) -> None:
+        """⟨awake, X, A⟩ survivor path: grants rejoin the effective set."""
+        if txn_id not in self.sleeping:
+            return
+        self.sleeping.discard(txn_id)
+        for op in self.pending.get(txn_id, {}).values():
+            self.summary.add(op)
+        self._bump()
+
+    def push_waiting(self, entry: WaitEntry) -> None:
+        self.waiting.append(entry)
+        self._bump()
+
+    def verify_summary(self) -> None:
+        """Raise when the incremental summary drifted from the raw sets."""
+        rebuilt = LockSetSummary()
+        rebuilt.rebuild_from(self)
+        if rebuilt.state() != self.summary.state():
+            raise GTMError(
+                f"object {self.name!r}: lock-set summary drift: "
+                f"incremental {self.summary!r} != rebuilt {rebuilt!r}")
+
     def is_waiting(self, txn_id: str) -> bool:
         return any(entry.txn_id == txn_id for entry in self.waiting)
 
@@ -157,7 +359,11 @@ class ManagedObject:
         return next((e for e in self.waiting if e.txn_id == txn_id), None)
 
     def remove_waiting(self, txn_id: str) -> None:
-        self.waiting = [e for e in self.waiting if e.txn_id != txn_id]
+        remaining = [e for e in self.waiting if e.txn_id != txn_id]
+        if len(remaining) != len(self.waiting):
+            self.waiting = remaining
+            self.wait_edge_epochs.pop(txn_id, None)
+            self._bump()
 
     def committed_after(self, when: float) -> Iterator[CommitRecord]:
         """Commit records with ``X_tc > when`` (Algorithm 9's check)."""
@@ -175,13 +381,8 @@ class ManagedObject:
 
     def clear_txn(self, txn_id: str) -> None:
         """Drop every trace of ``txn_id`` except committed history."""
-        self.pending.pop(txn_id, None)
-        self.remove_waiting(txn_id)
-        self.committing.pop(txn_id, None)
+        self.release_claims(txn_id)
         self.aborting.discard(txn_id)
-        self.sleeping.discard(txn_id)
-        self.read.pop(txn_id, None)
-        self.new.pop(txn_id, None)
 
     # -- invariants ---------------------------------------------------------------
 

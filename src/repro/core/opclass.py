@@ -35,6 +35,11 @@ class OperationClass(enum.Enum):
     UPDATE_MULDIV = "update-muldiv"
 
     @property
+    def is_whole_object(self) -> bool:
+        """INSERT/DELETE act on whole objects, not single data members."""
+        return self in (OperationClass.INSERT, OperationClass.DELETE)
+
+    @property
     def is_update(self) -> bool:
         return self in (OperationClass.UPDATE_ASSIGN,
                         OperationClass.UPDATE_ADDSUB,
@@ -63,6 +68,22 @@ class OperationClass(enum.Enum):
         raise GTMError(
             f"operation class {self.value!r} does not apply to a scalar "
             f"value; INSERT/DELETE act on whole objects")
+
+
+#: Number of operation classes (width of the occupancy bitmasks).
+OP_CLASS_COUNT = len(OperationClass)
+
+# Stable bit position per class (definition order).  The bitmask
+# conflict kernel in repro.core.compatibility / repro.core.conflicts
+# indexes occupancy and conflict masks by these bits, so they must not
+# change once persisted artefacts (BENCH_gtm.json) reference them.
+for _bit, _op_class in enumerate(OperationClass):
+    _op_class.bit = _bit
+del _bit, _op_class
+
+#: Bitmask covering the whole-object classes (INSERT | DELETE).
+WHOLE_OBJECT_MASK = ((1 << OperationClass.INSERT.bit)
+                     | (1 << OperationClass.DELETE.bit))
 
 
 @dataclass(frozen=True)

@@ -58,7 +58,7 @@ class SleepManager:
         txn.t_sleep = now
         for obj in involved:
             if obj.is_pending(txn.txn_id) or obj.is_waiting(txn.txn_id):
-                obj.sleeping.add(txn.txn_id)   # Algorithm 7
+                obj.mark_sleeping(txn.txn_id)   # Algorithm 7
         self.bus.on_sleep(txn, now)
         # a sleeping holder no longer blocks: waiters may proceed now.
         for obj in involved:
@@ -116,7 +116,7 @@ class SleepManager:
         for obj in involved:
             if txn.txn_id not in obj.sleeping:
                 continue
-            obj.sleeping.discard(txn.txn_id)
+            obj.wake_sleeping(txn.txn_id)
             entry = obj.waiting_entry(txn.txn_id)
             if entry is not None:
                 # Algorithm 9, case 1: grant immediately with fresh

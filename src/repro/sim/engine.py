@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import SimulationError
@@ -13,30 +12,26 @@ from repro.sim.clock import VirtualClock
 Callback = Callable[["SimulationEngine"], Any]
 
 
-@dataclass(order=True)
-class _QueueEntry:
-    """Heap entry.  Ordering is (time, priority, sequence)."""
-
-    time: float
-    priority: int
-    sequence: int
-    event: "ScheduledEvent" = field(compare=False)
-
-
 class ScheduledEvent:
     """Handle for an event sitting in (or already popped from) the queue.
+
+    The handle is the heap entry itself — ordering is (time, priority,
+    sequence) via :meth:`__lt__` — so scheduling allocates one slotted
+    object instead of an entry/handle pair.
 
     The handle supports cancellation: a cancelled event stays in the heap
     but is skipped by the dispatcher.  This gives O(1) cancel without heap
     surgery, which matters because lock-wait timeouts are cancelled far
-    more often than they fire.
+    more often than they fire.  Cancellation reports back to the engine so
+    its live-event count stays O(1) too.
     """
 
     __slots__ = ("time", "priority", "sequence", "callback", "label",
-                 "cancelled", "dispatched")
+                 "cancelled", "dispatched", "_engine")
 
     def __init__(self, time: float, priority: int, sequence: int,
-                 callback: Callback, label: str = "") -> None:
+                 callback: Callback, label: str = "",
+                 engine: "SimulationEngine | None" = None) -> None:
         self.time = time
         self.priority = priority
         self.sequence = sequence
@@ -44,12 +39,20 @@ class ScheduledEvent:
         self.label = label
         self.cancelled = False
         self.dispatched = False
+        self._engine = engine
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.priority, self.sequence) < \
+               (other.time, other.priority, other.sequence)
 
     def cancel(self) -> bool:
         """Cancel the event.  Returns False if it already ran."""
         if self.dispatched:
             return False
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._engine is not None:
+                self._engine._on_cancelled()
         return True
 
     @property
@@ -82,9 +85,13 @@ class SimulationEngine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self.clock = VirtualClock(start_time)
-        self._queue: list[_QueueEntry] = []
+        self._queue: list[ScheduledEvent] = []
         self._sequence = itertools.count()
         self._events_dispatched = 0
+        #: live (scheduled, not cancelled, not dispatched) events;
+        #: maintained on push/cancel/dispatch so :attr:`pending` never
+        #: scans the heap.
+        self._live = 0
         self._running = False
         self._stopped = False
 
@@ -97,8 +104,8 @@ class SimulationEngine:
 
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for entry in self._queue if entry.event.alive)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
 
     @property
     def events_dispatched(self) -> int:
@@ -123,11 +130,9 @@ class SimulationEngine:
                 f"cannot schedule event in the past: {when} < {self.clock.now}"
             )
         event = ScheduledEvent(when, priority, next(self._sequence),
-                               callback, label)
-        heapq.heappush(
-            self._queue,
-            _QueueEntry(when, priority, event.sequence, event),
-        )
+                               callback, label, engine=self)
+        heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def schedule_after(self, delay: float, callback: Callback, *,
@@ -146,10 +151,10 @@ class SimulationEngine:
         self._drop_dead_head()
         if not self._queue:
             return False
-        entry = heapq.heappop(self._queue)
-        event = entry.event
+        event = heapq.heappop(self._queue)
         self.clock.advance_to(event.time)
         event.dispatched = True
+        self._live -= 1
         self._events_dispatched += 1
         event.callback(self)
         return True
@@ -186,9 +191,13 @@ class SimulationEngine:
 
     # -- internals ----------------------------------------------------------
 
+    def _on_cancelled(self) -> None:
+        """A queued event was cancelled (called by the event handle)."""
+        self._live -= 1
+
     def _drop_dead_head(self) -> None:
         """Pop cancelled events off the heap head (lazy deletion)."""
-        while self._queue and not self._queue[0].event.alive:
+        while self._queue and not self._queue[0].alive:
             heapq.heappop(self._queue)
 
     def __repr__(self) -> str:
