@@ -27,6 +27,21 @@ def test_perf_smoke_meets_acceptance_bar():
         assert variant["ops_per_sec"] > 0
         assert variant["grant_latency_p99_us"] >= \
             variant["grant_latency_p50_us"] >= 0
+    # the jobs-scaling curve: every swept point must have produced a
+    # byte-identical campaign (speedup is hardware-dependent; identity
+    # is not).
+    scaling = payload["parallel_scaling"]
+    assert scaling["outcomes_identical"] is True
+    assert scaling["cpu_count"] >= 1
+    assert [point["jobs"] for point in scaling["curve"]] == [1, 2]
+    for point in scaling["curve"]:
+        assert point["outcomes_identical_to_serial"] is True
+        assert point["elapsed_s"] > 0
+        assert point["speedup_vs_serial"] > 0
+    assert set(scaling["campaign_digests"]) == \
+        {"gtm", "2pl", "optimistic"}
+    for digest in scaling["campaign_digests"].values():
+        assert len(digest) == 64  # a full sha256 hex digest
 
 
 def test_bench_cli_writes_json_and_exits_clean(tmp_path):
@@ -36,3 +51,4 @@ def test_bench_cli_writes_json_and_exits_clean(tmp_path):
     payload = json.loads(target.read_text())
     assert payload["profile"] == "smoke"
     assert payload["differential"]["divergences"] == 0
+    assert payload["parallel_scaling"]["outcomes_identical"] is True

@@ -22,6 +22,7 @@ from pathlib import Path
 from repro.bench.perf import PROFILES, render_summary, run_perf, \
     write_bench_json
 from repro.bench.registry import get_experiment, list_experiments
+from repro.parallel import parse_jobs
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -42,15 +43,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", default="BENCH_gtm.json",
                         help="output path for the perf harness results "
                              "(default: %(default)s)")
+    parser.add_argument("--jobs", type=parse_jobs, default=1,
+                        metavar="N|auto",
+                        help="worker processes for experiment sweeps "
+                             "and the embedded differential campaign "
+                             "(auto = CPU count); outputs are "
+                             "byte-identical to --jobs 1 (default 1)")
     arguments = parser.parse_args(argv)
 
     if arguments.profile is not None:
-        payload = run_perf(arguments.profile)
+        payload = run_perf(arguments.profile, jobs=arguments.jobs)
         target = write_bench_json(payload, arguments.json)
         print(render_summary(payload))
         print(f"\nwrote {target}")
         if payload["differential"]["divergences"]:
             print("DIFFERENTIAL DIVERGENCE DETECTED", file=sys.stderr)
+            return 1
+        if not payload["parallel_scaling"]["outcomes_identical"]:
+            print("PARALLEL CAMPAIGN DIVERGED FROM SERIAL",
+                  file=sys.stderr)
             return 1
         return 0
 
@@ -73,7 +84,7 @@ def main(argv: list[str] | None = None) -> int:
     for experiment_id in requested:
         experiment = get_experiment(experiment_id)
         banner = f"=== {experiment.paper_artifact}: {experiment.title} ==="
-        output = experiment.main()
+        output = experiment.main(jobs=arguments.jobs)
         print(banner)
         print(output)
         print()

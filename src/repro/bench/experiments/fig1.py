@@ -84,7 +84,8 @@ def shape_checks(data: Figure1Data) -> dict[str, bool]:
     }
 
 
-def main() -> str:
+def main(jobs: int | str = 1) -> str:
+    del jobs  # closed-form model evaluation, not worth sharding
     data = run()
     text = render(data)
     checks = shape_checks(data)

@@ -98,7 +98,8 @@ def shape_checks(data: Figure2Data) -> dict[str, bool]:
     }
 
 
-def main() -> str:
+def main(jobs: int | str = 1) -> str:
+    del jobs  # closed-form model evaluation, not worth sharding
     data = run()
     text = render(data)
     checks = shape_checks(data)

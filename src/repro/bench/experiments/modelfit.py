@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.analytic.model import our_execution_time, twopl_execution_time
 from repro.metrics.report import render_table
+from repro.parallel import ParallelMap, require_results
 from repro.schedulers import (
     GTMScheduler,
     GTMSchedulerConfig,
@@ -102,18 +103,33 @@ def predicted_advantage(alpha: float, n: int,
             / our_execution_time(c, i, n=n))
 
 
-def run(config: ModelFitConfig | None = None) -> ModelFitData:
+def _measure_alpha(config: ModelFitConfig, alpha: float) -> float:
+    """The emulation's measured advantage at one alpha grid point."""
+    generated = generate_paper_workload(PaperWorkloadConfig(
+        n_transactions=config.n_transactions, alpha=alpha,
+        beta=0.0, seed=config.seed))
+    gtm = GTMScheduler(GTMSchedulerConfig()).run(generated.workload)
+    twopl = TwoPLScheduler(TwoPLSchedulerConfig()).run(
+        generated.workload)
+    return (twopl.stats.avg_execution_time
+            / max(gtm.stats.avg_execution_time, 1e-9))
+
+
+def _measure_alpha_task(args: tuple) -> float:
+    """Top-level alpha grid task (spawn-picklable by reference)."""
+    return _measure_alpha(*args)
+
+
+def run(config: ModelFitConfig | None = None,
+        jobs: int | str = 1) -> ModelFitData:
     config = config or ModelFitConfig()
     data = ModelFitData()
-    for alpha in config.alphas:
-        generated = generate_paper_workload(PaperWorkloadConfig(
-            n_transactions=config.n_transactions, alpha=alpha,
-            beta=0.0, seed=config.seed))
-        gtm = GTMScheduler(GTMSchedulerConfig()).run(generated.workload)
-        twopl = TwoPLScheduler(TwoPLSchedulerConfig()).run(
-            generated.workload)
-        measured = (twopl.stats.avg_execution_time
-                    / max(gtm.stats.avg_execution_time, 1e-9))
+    items = [(config, alpha) for alpha in config.alphas]
+    measured_series = require_results(
+        ParallelMap(jobs=jobs, chunk_size=1).map(
+            _measure_alpha_task, items),
+        "model-fit grid point")
+    for alpha, measured in zip(config.alphas, measured_series):
         data.points.append(ModelFitPoint(
             alpha=alpha,
             predicted_advantage=predicted_advantage(
@@ -154,8 +170,8 @@ def shape_checks(data: ModelFitData) -> dict[str, bool]:
     }
 
 
-def main() -> str:
-    data = run()
+def main(jobs: int | str = 1) -> str:
+    data = run(jobs=jobs)
     checks = shape_checks(data)
     lines = [render(data), "", "shape checks:"]
     lines.extend(f"  {name}: {'PASS' if ok else 'FAIL'}"

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.core.opclass import read, subtract
 from repro.metrics.report import render_table
+from repro.parallel import ParallelMap, require_results
 from repro.mobile.client import ThinkTimeModel
 from repro.mobile.session import SessionPlan
 from repro.schedulers import (
@@ -80,20 +81,32 @@ def build_workload(config: ReadMixConfig, rho: float) -> Workload:
                     initial_values={name: 100000.0 for name in names})
 
 
-def run(config: ReadMixConfig | None = None) -> ReadMixData:
+def _mix_point(config: ReadMixConfig, rho: float) -> ReadMixPoint:
+    workload = build_workload(config, rho)
+    gtm = GTMScheduler(GTMSchedulerConfig()).run(workload)
+    twopl = TwoPLScheduler(TwoPLSchedulerConfig()).run(workload)
+    return ReadMixPoint(
+        read_fraction=rho,
+        gtm_exec=gtm.stats.avg_execution_time,
+        twopl_exec=twopl.stats.avg_execution_time,
+        gtm_wait=gtm.stats.avg_wait_time,
+        twopl_wait=twopl.stats.avg_wait_time,
+    )
+
+
+def _mix_point_task(args: tuple) -> ReadMixPoint:
+    """Top-level mix-point task (spawn-picklable by reference)."""
+    return _mix_point(*args)
+
+
+def run(config: ReadMixConfig | None = None,
+        jobs: int | str = 1) -> ReadMixData:
     config = config or ReadMixConfig()
     data = ReadMixData(config=config)
-    for rho in config.read_fractions:
-        workload = build_workload(config, rho)
-        gtm = GTMScheduler(GTMSchedulerConfig()).run(workload)
-        twopl = TwoPLScheduler(TwoPLSchedulerConfig()).run(workload)
-        data.points.append(ReadMixPoint(
-            read_fraction=rho,
-            gtm_exec=gtm.stats.avg_execution_time,
-            twopl_exec=twopl.stats.avg_execution_time,
-            gtm_wait=gtm.stats.avg_wait_time,
-            twopl_wait=twopl.stats.avg_wait_time,
-        ))
+    items = [(config, rho) for rho in config.read_fractions]
+    data.points = require_results(
+        ParallelMap(jobs=jobs, chunk_size=1).map(_mix_point_task, items),
+        "read-mix grid point")
     return data
 
 
@@ -125,8 +138,8 @@ def shape_checks(data: ReadMixData) -> dict[str, bool]:
     }
 
 
-def main() -> str:
-    data = run()
+def main(jobs: int | str = 1) -> str:
+    data = run(jobs=jobs)
     checks = shape_checks(data)
     lines = [render(data), "", "shape checks:"]
     lines.extend(f"  {name}: {'PASS' if ok else 'FAIL'}"

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.metrics.report import render_table
+from repro.parallel import ParallelMap, require_results
 from repro.schedulers import (
     GTMScheduler,
     GTMSchedulerConfig,
@@ -56,25 +57,40 @@ class ThroughputData:
     config: ThroughputConfig | None = None
 
 
-def run(config: ThroughputConfig | None = None) -> ThroughputData:
+def _load_point(config: ThroughputConfig,
+                interarrival: float) -> ThroughputPoint:
+    """One offered-load grid point: all three schedulers, one seed."""
+    generated = generate_paper_workload(PaperWorkloadConfig(
+        n_transactions=config.n_transactions, alpha=config.alpha,
+        beta=config.beta, interarrival=interarrival,
+        seed=config.seed))
+    gtm = GTMScheduler(GTMSchedulerConfig()).run(generated.workload)
+    twopl = TwoPLScheduler(TwoPLSchedulerConfig()).run(
+        generated.workload)
+    optimistic = OptimisticScheduler().run(generated.workload)
+    return ThroughputPoint(
+        interarrival=interarrival,
+        offered_load=1.0 / interarrival,
+        gtm=gtm.stats.throughput,
+        twopl=twopl.stats.throughput,
+        optimistic=optimistic.stats.throughput,
+    )
+
+
+def _load_point_task(args: tuple) -> ThroughputPoint:
+    return _load_point(*args)
+
+
+def run(config: ThroughputConfig | None = None,
+        jobs: int | str = 1) -> ThroughputData:
     config = config or ThroughputConfig()
     data = ThroughputData(config=config)
-    for interarrival in config.interarrivals:
-        generated = generate_paper_workload(PaperWorkloadConfig(
-            n_transactions=config.n_transactions, alpha=config.alpha,
-            beta=config.beta, interarrival=interarrival,
-            seed=config.seed))
-        gtm = GTMScheduler(GTMSchedulerConfig()).run(generated.workload)
-        twopl = TwoPLScheduler(TwoPLSchedulerConfig()).run(
-            generated.workload)
-        optimistic = OptimisticScheduler().run(generated.workload)
-        data.points.append(ThroughputPoint(
-            interarrival=interarrival,
-            offered_load=1.0 / interarrival,
-            gtm=gtm.stats.throughput,
-            twopl=twopl.stats.throughput,
-            optimistic=optimistic.stats.throughput,
-        ))
+    items = [(config, interarrival)
+             for interarrival in config.interarrivals]
+    data.points = require_results(
+        ParallelMap(jobs=jobs, chunk_size=1).map(_load_point_task,
+                                                 items),
+        "throughput grid point")
     return data
 
 
@@ -116,8 +132,8 @@ def shape_checks(data: ThroughputData) -> dict[str, bool]:
     }
 
 
-def main() -> str:
-    data = run()
+def main(jobs: int | str = 1) -> str:
+    data = run(jobs=jobs)
     checks = shape_checks(data)
     lines = [render(data), "", "shape checks:"]
     lines.extend(f"  {name}: {'PASS' if ok else 'FAIL'}"

@@ -89,7 +89,8 @@ def shape_checks(generated: GeneratedWorkload) -> dict[str, bool]:
     }
 
 
-def main() -> str:
+def main(jobs: int | str = 1) -> str:
+    del jobs  # one workload generation pass, not worth sharding
     generated = run()
     checks = shape_checks(generated)
     lines = [render(generated), "", "shape checks:"]

@@ -23,11 +23,19 @@ times vary, outcomes never do):
 (:mod:`repro.check.differential`) and folds the divergence count into
 the emitted ``BENCH_gtm.json`` — a benchmark that got faster by
 changing behaviour must fail loudly, not report a speedup.
+
+A fourth measurement records the **parallel scaling curve**: the same
+seeded campaign (every scheduler) at ``jobs = 1, 2, 4, 8``, asserting
+the summaries and rolling digests stay byte-identical while wall-clock
+drops.  The curve lands in ``BENCH_gtm.json`` under
+``parallel_scaling`` so the perf trajectory accumulates jobs-scaling
+data run over run.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass
@@ -36,6 +44,7 @@ from typing import Any
 
 from repro.check.differential import run_differential_campaign
 from repro.check.fuzzer import FuzzConfig
+from repro.check.runner import run_campaign
 from repro.core.conflicts import build_conflict_checker
 from repro.core.gtm import GlobalTransactionManager, GTMConfig
 from repro.core.objects import ManagedObject
@@ -61,6 +70,11 @@ class PerfProfile:
     throughput_objects: int = 16
     #: Differential fuzz episodes per scheduler.
     differential_episodes: int = 25
+    #: Parallel scaling curve: campaign episodes per scheduler and the
+    #: swept ``jobs`` values (jobs beyond the machine's cores are still
+    #: measured — the flat tail is part of the curve).
+    scaling_episodes: int = 40
+    scaling_jobs: tuple[int, ...] = (1, 2)
 
     def scaled(self) -> "PerfProfile":
         return self
@@ -69,7 +83,9 @@ class PerfProfile:
 PROFILES: dict[str, PerfProfile] = {
     "smoke": PerfProfile(name="smoke"),
     "full": PerfProfile(name="full", conflict_iters=20000, pump_iters=600,
-                        rounds=400, differential_episodes=120),
+                        rounds=400, differential_episodes=120,
+                        scaling_episodes=200,
+                        scaling_jobs=(1, 2, 4, 8)),
 }
 
 #: Engine/shard variants measured by the throughput run.
@@ -290,19 +306,20 @@ def bench_throughput(profile: PerfProfile) -> dict[str, Any]:
 # ---------------------------------------------------------------------------
 
 
-def bench_differential(profile: PerfProfile,
-                       seed: int = 2008) -> dict[str, Any]:
+def bench_differential(profile: PerfProfile, seed: int = 2008,
+                       jobs: int | str = 1) -> dict[str, Any]:
     per_scheduler: list[dict[str, Any]] = []
     divergences = 0
     for scheduler in ("gtm", "2pl", "optimistic"):
         report = run_differential_campaign(
             FuzzConfig(scheduler=scheduler), seed=seed,
-            episodes=profile.differential_episodes)
+            episodes=profile.differential_episodes, jobs=jobs)
         divergences += len(report.divergent)
         per_scheduler.append({
             "scheduler": scheduler,
             "episodes": report.episodes,
             "divergences": len(report.divergent),
+            "digest": report.digest,
             "detail": [c.summary() for c in report.divergent[:3]],
         })
     return {
@@ -314,18 +331,76 @@ def bench_differential(profile: PerfProfile,
 
 
 # ---------------------------------------------------------------------------
+# parallel scaling curve
+# ---------------------------------------------------------------------------
+
+
+def bench_parallel_scaling(profile: PerfProfile,
+                           seed: int = 2008) -> dict[str, Any]:
+    """Campaign wall-clock vs ``jobs``, with byte-identity asserted.
+
+    Runs the same seeded campaign (every scheduler) at each swept
+    ``jobs`` value and a differential digest check on top; any summary
+    or digest drift is a correctness failure (reported in-band and via
+    :class:`GTMError` at the end, so the JSON still records the curve).
+    """
+    schedulers = ("gtm", "2pl", "optimistic")
+    curve: list[dict[str, Any]] = []
+    baseline: dict[str, tuple[str, str]] = {}
+    baseline_elapsed = None
+    identical = True
+    for jobs in profile.scaling_jobs:
+        start = _CLOCK()
+        summaries: dict[str, tuple[str, str]] = {}
+        for scheduler in schedulers:
+            report = run_campaign(
+                FuzzConfig(scheduler=scheduler), seed=seed,
+                episodes=profile.scaling_episodes,
+                shrink_failures=False, jobs=jobs)
+            summaries[scheduler] = (report.summary(), report.digest)
+        elapsed = _CLOCK() - start
+        if jobs == profile.scaling_jobs[0]:
+            baseline = summaries
+            baseline_elapsed = elapsed
+        matches = summaries == baseline
+        identical = identical and matches
+        curve.append({
+            "jobs": jobs,
+            "elapsed_s": elapsed,
+            "speedup_vs_serial":
+                (baseline_elapsed or elapsed) / max(elapsed, 1e-12),
+            "outcomes_identical_to_serial": matches,
+        })
+    return {
+        "episodes_per_scheduler": profile.scaling_episodes,
+        "schedulers": list(schedulers),
+        "cpu_count": os.cpu_count(),
+        "curve": curve,
+        "outcomes_identical": identical,
+        "campaign_digests": {scheduler: digest for scheduler,
+                             (_, digest) in baseline.items()},
+    }
+
+
+# ---------------------------------------------------------------------------
 # the runner
 # ---------------------------------------------------------------------------
 
 
-def run_perf(profile_name: str = "smoke",
-             seed: int = 2008) -> dict[str, Any]:
-    """Run every stage and assemble the ``BENCH_gtm.json`` payload."""
+def run_perf(profile_name: str = "smoke", seed: int = 2008,
+             jobs: int | str = 1) -> dict[str, Any]:
+    """Run every stage and assemble the ``BENCH_gtm.json`` payload.
+
+    ``jobs`` parallelizes the embedded differential campaign (its
+    digests are jobs-invariant by construction); the scaling stage
+    sweeps its own jobs values from the profile regardless.
+    """
     profile = get_profile(profile_name)
     conflict = bench_conflict(profile)
     pump = bench_pump(profile)
     throughput = bench_throughput(profile)
-    differential = bench_differential(profile, seed=seed)
+    differential = bench_differential(profile, seed=seed, jobs=jobs)
+    scaling = bench_parallel_scaling(profile, seed=seed)
     reference_hot = conflict["reference_s"] + pump["reference_s"]
     optimized_hot = conflict["bitmask_s"] + pump["bitmask_s"]
     return {
@@ -333,6 +408,7 @@ def run_perf(profile_name: str = "smoke",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "jobs": jobs,
         "conflict_microbench": conflict,
         "pump_microbench": pump,
         "hot_path": {
@@ -342,6 +418,7 @@ def run_perf(profile_name: str = "smoke",
         },
         "throughput": throughput,
         "differential": differential,
+        "parallel_scaling": scaling,
     }
 
 
@@ -391,4 +468,19 @@ def render_summary(payload: dict[str, Any]) -> str:
         f"{differential['episodes_per_scheduler']} episodes x "
         f"{len(differential['schedulers'])} schedulers, "
         f"{differential['divergences']} divergence(s)")
+    scaling = payload.get("parallel_scaling")
+    if scaling:
+        for point in scaling["curve"]:
+            lines.append(
+                f"campaign scaling [jobs={point['jobs']}]: "
+                f"{point['elapsed_s']:.2f}s  "
+                f"({point['speedup_vs_serial']:.2f}x vs serial, "
+                f"identical="
+                f"{point['outcomes_identical_to_serial']})")
+        lines.append(
+            f"parallel merge byte-identical across jobs: "
+            f"{scaling['outcomes_identical']} "
+            f"({scaling['cpu_count']} CPUs, "
+            f"{scaling['episodes_per_scheduler']} episodes x "
+            f"{len(scaling['schedulers'])} schedulers)")
     return "\n".join(lines)

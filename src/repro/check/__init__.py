@@ -28,8 +28,10 @@ from repro.check.oracle import (
 from repro.check.runner import (
     CampaignReport,
     EpisodeOutcome,
+    rehydrate_outcome,
     run_campaign,
     run_episode,
+    run_episode_compact,
 )
 from repro.check.shrinker import render_regression_test, shrink_episode
 
@@ -48,8 +50,10 @@ __all__ = [
     "generate_episode",
     "record_baseline",
     "record_gtm",
+    "rehydrate_outcome",
     "render_regression_test",
     "run_campaign",
     "run_episode",
+    "run_episode_compact",
     "shrink_episode",
 ]

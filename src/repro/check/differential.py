@@ -16,10 +16,20 @@ bitmask engine on the flat lock table, and the bitmask engine on an
 8-shard table.  For the 2PL/optimistic baselines (which have no engine
 switch) the harness degrades to a run-twice determinism check, keeping
 the campaign interface uniform.
+
+Campaigns fan out across worker processes (``jobs=N``): each worker
+regenerates its episodes from the warm ``(config, seed)`` context and
+sends back only a verdict and a canonical SHA-256 digest of the full
+observable outcome (:func:`comparison_digest`) — never the traces
+themselves.  Divergent episodes are re-compared in the parent (episode
+runs are pure, so the rerun reproduces the worker's divergence
+exactly), which keeps the report identical to a serial run's.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -34,6 +44,12 @@ from repro.check.invariants import check_episode_invariants
 from repro.core.gtm import GTMConfig
 from repro.errors import WorkloadError
 from repro.metrics.trace import episode_trace
+from repro.parallel import (
+    ParallelMap,
+    WorkerContext,
+    WorkerCrash,
+    check_spec_concrete,
+)
 from repro.schedulers.gtm_scheduler import GTMScheduler, GTMSchedulerConfig
 
 #: (label, GTMConfig overrides) for each GTM variant under comparison.
@@ -81,6 +97,9 @@ class DifferentialReport:
     seed: int
     episodes: int
     divergent: list[EpisodeComparison] = field(default_factory=list)
+    #: Rolling hash over every episode's outcome digest, in episode
+    #: order — two campaigns saw bit-identical behaviour iff equal.
+    digest: str = ""
 
     @property
     def ok(self) -> bool:
@@ -91,6 +110,27 @@ class DifferentialReport:
             f"{len(self.divergent)} DIVERGENT EPISODE(S)"
         return (f"[differential {self.config.scheduler}] "
                 f"{self.episodes} episodes (seed {self.seed}): {status}")
+
+
+def comparison_digest(comparison: EpisodeComparison) -> str:
+    """Canonical SHA-256 of one episode's full observable outcome.
+
+    Covers every variant's trace, permanent object state, invariant
+    violations and crash text plus the computed diffs, serialized as
+    sorted-key JSON so dict ordering cannot leak into the hash.  This
+    is the compact form workers return instead of pickling traces back.
+    """
+    payload = {
+        "episode": comparison.spec.index,
+        "diffs": comparison.diffs,
+        "runs": [
+            {"label": run.label, "trace": run.trace,
+             "permanent": run.permanent, "violations": run.violations,
+             "crash": run.crash}
+            for run in comparison.runs],
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _gtm_variant_scheduler(spec: EpisodeSpec,
@@ -170,21 +210,82 @@ def _first_trace_diff(a: dict[str, Any] | None,
     return "(no differing key found)"
 
 
+def _init_differential_worker(config: FuzzConfig, seed: int) -> None:
+    """Pool initializer: campaign constants, built once per worker."""
+    WorkerContext.install(config=config, seed=seed)
+
+
+def _differential_episode_task(index: int) -> tuple[bool, str]:
+    """Worker task: compare episode ``index``, return (ok, digest).
+
+    The full comparison (traces of every variant) stays worker-side;
+    only the verdict and the canonical digest cross the boundary.
+    """
+    spec = generate_episode(WorkerContext.get("config"),
+                            WorkerContext.get("seed"), index)
+    comparison = compare_episode(spec)
+    return comparison.ok, comparison_digest(comparison)
+
+
 def run_differential_campaign(
         config: FuzzConfig, seed: int, episodes: int,
         max_divergences: int = 5,
-        progress: Callable[[int, EpisodeComparison], None] | None = None,
+        progress: Callable[[int, bool], None] | None = None,
+        jobs: int | str = 1, chunk_size: int | None = None,
 ) -> DifferentialReport:
-    """Run ``episodes`` seeded episodes through every variant."""
+    """Run ``episodes`` seeded episodes through every variant.
+
+    ``jobs`` shards episodes across worker processes; the merge runs in
+    episode order with the serial early-stop rule, so the report and
+    its rolling ``digest`` are identical for every ``jobs`` /
+    ``chunk_size``.  Divergent (or worker-crashed) episodes are
+    re-compared in the parent to rebuild the full comparison object.
+    ``progress`` receives ``(index, ok)`` per merged episode.
+    """
+    check_spec_concrete(config, "campaign config")
     report = DifferentialReport(config=config, seed=seed,
                                 episodes=episodes)
-    for index in range(episodes):
-        spec = generate_episode(config, seed, index)
-        comparison = compare_episode(spec)
-        if progress is not None:
-            progress(index, comparison)
-        if not comparison.ok:
-            report.divergent.append(comparison)
-            if len(report.divergent) >= max_divergences:
-                break
+    rolling = hashlib.sha256()
+    mapper = ParallelMap(jobs=jobs, chunk_size=chunk_size,
+                         initializer=_init_differential_worker,
+                         initargs=(config, seed))
+    stream = mapper.imap(_differential_episode_task, range(episodes))
+    try:
+        for index, merged in stream:
+            if isinstance(merged, WorkerCrash):
+                # the worker died outside compare_episode's own crash
+                # capture; rerunning in the parent either reproduces a
+                # deterministic failure or records the worker loss.
+                comparison = _recompare_or_crash(config, seed, index,
+                                                 merged)
+                ok, digest = comparison.ok, comparison_digest(comparison)
+            else:
+                ok, digest = merged
+                comparison = None
+            rolling.update(f"{index}|{int(ok)}|{digest}\n"
+                           .encode("utf-8"))
+            report.digest = rolling.hexdigest()
+            if progress is not None:
+                progress(index, ok)
+            if not ok:
+                if comparison is None:
+                    spec = generate_episode(config, seed, index)
+                    comparison = compare_episode(spec)
+                report.divergent.append(comparison)
+                if len(report.divergent) >= max_divergences:
+                    break
+    finally:
+        stream.close()
     return report
+
+
+def _recompare_or_crash(config: FuzzConfig, seed: int, index: int,
+                        crash: WorkerCrash) -> EpisodeComparison:
+    spec = generate_episode(config, seed, index)
+    try:
+        return compare_episode(spec)
+    except Exception:  # noqa: BLE001 - deterministic harness failure
+        return EpisodeComparison(
+            spec=spec, runs=[],
+            diffs=[f"worker crashed running this episode:\n"
+                   f"{crash.traceback}"])

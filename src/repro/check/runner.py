@@ -3,14 +3,24 @@
 :func:`run_episode` is a *pure function* of an :class:`EpisodeSpec`
 (specs are fully concrete; the schedulers are deterministic discrete-
 event simulations), which is what lets the shrinker treat "does this
-sub-episode still fail?" as a simple predicate.
+sub-episode still fail?" as a simple predicate — and what lets
+:func:`run_campaign` shard episodes across worker processes
+(``jobs=N``) while producing a report byte-identical to a serial run.
+
+Process-boundary discipline: workers receive bare episode indices (the
+campaign config and seed are installed once per worker by the pool
+initializer) and return *compact* outcomes — the raw
+:class:`SchedulerResult` never crosses the boundary.  Consumers that
+need the full result (the trace dumper) rehydrate it lazily via
+:func:`rehydrate_outcome`, which simply re-runs the pure spec.
 """
 
 from __future__ import annotations
 
+import hashlib
 import traceback
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.check.fuzzer import (
     EpisodeSpec,
@@ -27,6 +37,12 @@ from repro.check.oracle import (
 )
 from repro.check.shrinker import render_regression_test, shrink_episode
 from repro.errors import WorkloadError
+from repro.parallel import (
+    ParallelMap,
+    WorkerContext,
+    WorkerCrash,
+    check_spec_concrete,
+)
 from repro.schedulers.gtm_scheduler import GTMScheduler, GTMSchedulerConfig
 from repro.schedulers.optimistic import OptimisticScheduler
 from repro.schedulers.twopl_scheduler import (
@@ -111,6 +127,57 @@ def run_episode(spec: EpisodeSpec) -> EpisodeOutcome:
                           invariant_violations=violations, result=result)
 
 
+def compact_outcome(outcome: EpisodeOutcome) -> EpisodeOutcome:
+    """The process-boundary form of an outcome: everything the report
+    and the shrinker need (spec, verdicts, counts, crash text), minus
+    the raw :class:`SchedulerResult`, which is big, slow to pickle and
+    reconstructible from the spec on demand."""
+    if outcome.result is None:
+        return outcome
+    return replace(outcome, result=None)
+
+
+def run_episode_compact(spec: EpisodeSpec) -> EpisodeOutcome:
+    """:func:`run_episode` without the raw result — the worker task."""
+    return compact_outcome(run_episode(spec))
+
+
+def rehydrate_outcome(outcome: EpisodeOutcome) -> EpisodeOutcome:
+    """Recover the full outcome (raw result included) from a compact
+    one by re-running its pure spec; crashed episodes have no result
+    to recover and compact outcomes pass through unchanged."""
+    if outcome.result is not None or outcome.crash is not None:
+        return outcome
+    return run_episode(outcome.spec)
+
+
+# ---------------------------------------------------------------------------
+# campaign fan-out
+# ---------------------------------------------------------------------------
+
+
+def _init_campaign_worker(config: FuzzConfig, seed: int,
+                          crash_indices: tuple[int, ...]) -> None:
+    """Pool initializer: campaign constants, built once per worker."""
+    WorkerContext.install(config=config, seed=seed,
+                          crash_indices=frozenset(crash_indices))
+
+
+def _campaign_episode_task(index: int) -> EpisodeOutcome:
+    """Worker task: regenerate episode ``index`` and run it compactly.
+
+    The spec is *regenerated inside the worker* from the warm config +
+    seed, so the only payload crossing the boundary inward is an int.
+    ``crash_indices`` is the fault-injection hook the crash-isolation
+    tests use to prove a poisoned episode cannot sink a campaign.
+    """
+    if index in WorkerContext.get("crash_indices"):
+        raise RuntimeError(f"injected worker crash at episode {index}")
+    spec = generate_episode(WorkerContext.get("config"),
+                            WorkerContext.get("seed"), index)
+    return run_episode_compact(spec)
+
+
 @dataclass
 class CampaignReport:
     """Aggregate of one fuzz campaign."""
@@ -125,6 +192,9 @@ class CampaignReport:
     shrunk: EpisodeSpec | None = None
     #: Ready-to-paste regression test for the minimized failure.
     regression_test: str | None = None
+    #: Rolling hash over every merged episode outcome, in episode
+    #: order — two campaigns agree byte-for-byte iff digests match.
+    digest: str = ""
 
     @property
     def ok(self) -> bool:
@@ -140,20 +210,49 @@ class CampaignReport:
 def run_campaign(config: FuzzConfig, seed: int, episodes: int,
                  max_failures: int = 1, shrink_failures: bool = True,
                  progress: Callable[[int, EpisodeOutcome], None] | None
-                 = None) -> CampaignReport:
-    """Run ``episodes`` seeded episodes; stop after ``max_failures``."""
+                 = None, jobs: int | str = 1,
+                 chunk_size: int | None = None,
+                 crash_indices: Iterable[int] = ()) -> CampaignReport:
+    """Run ``episodes`` seeded episodes; stop after ``max_failures``.
+
+    ``jobs`` shards the episodes over worker processes (``"auto"`` =
+    CPU count).  The merge consumes worker results *in episode order*
+    and applies the same accounting and early-stop rule as a serial
+    run, so the report — summary, totals, failures, digest — is
+    byte-identical for every ``jobs``/``chunk_size`` combination.
+    Workers that crash (or raise) convert into ``crash=...`` outcomes
+    for their episodes only; ``crash_indices`` deliberately poisons
+    those episodes for the fault-isolation tests.
+    """
+    check_spec_concrete(config, "campaign config")
     report = CampaignReport(config=config, seed=seed, episodes=episodes)
-    for index in range(episodes):
-        spec = generate_episode(config, seed, index)
-        outcome = run_episode(spec)
-        report.committed += outcome.committed
-        report.aborted += outcome.aborted
-        if progress is not None:
-            progress(index, outcome)
-        if not outcome.ok:
-            report.failures.append(outcome)
-            if len(report.failures) >= max_failures:
-                break
+    rolling = hashlib.sha256()
+    mapper = ParallelMap(
+        jobs=jobs, chunk_size=chunk_size,
+        initializer=_init_campaign_worker,
+        initargs=(config, seed, tuple(sorted(set(crash_indices)))))
+    stream = mapper.imap(_campaign_episode_task, range(episodes))
+    try:
+        for index, merged in stream:
+            if isinstance(merged, WorkerCrash):
+                outcome = EpisodeOutcome(
+                    generate_episode(config, seed, index), ok=False,
+                    crash=merged.traceback)
+            else:
+                outcome = merged
+            report.committed += outcome.committed
+            report.aborted += outcome.aborted
+            rolling.update(f"{index}|{outcome.summary()}\n"
+                           .encode("utf-8"))
+            report.digest = rolling.hexdigest()
+            if progress is not None:
+                progress(index, outcome)
+            if not outcome.ok:
+                report.failures.append(outcome)
+                if len(report.failures) >= max_failures:
+                    break
+    finally:
+        stream.close()  # cancel undispatched work, shut the pool down
     if report.failures and shrink_failures:
         first = report.failures[0]
         report.shrunk = shrink_episode(

@@ -1,0 +1,43 @@
+"""Deterministic multiprocess fan-out for seeded episode work.
+
+The campaign runner, the differential harness, the perf bench and the
+paper-figure experiments all iterate a pure function over a sequence of
+fully concrete work items (episode indices, sweep grid points).  This
+package shards that iteration across worker processes while keeping the
+merged result *byte-identical* to a serial run:
+
+- :class:`ParallelMap` — the fan-out engine: a serial backend and a
+  spawn-safe process-pool backend with chunked dispatch, bounded
+  in-flight work, per-item fault isolation and ordered merge;
+- :class:`WorkerCrash` — the in-band marker a crashed work item merges
+  back as, so one poisoned episode never sinks a campaign;
+- :mod:`repro.parallel.worker` — the warm per-worker context (campaign
+  config built once per worker via the pool initializer) and the
+  payload hygiene checks;
+- :mod:`repro.parallel.selfcheck` — the CI determinism gate
+  (``python -m repro.parallel.selfcheck``): serial vs parallel campaign
+  summaries and differential digests must match exactly.
+"""
+
+from repro.parallel.pmap import (
+    ParallelMap,
+    WorkerCrash,
+    default_chunk_size,
+    ensure_picklable,
+    parse_jobs,
+    require_results,
+    resolve_jobs,
+)
+from repro.parallel.worker import WorkerContext, check_spec_concrete
+
+__all__ = [
+    "ParallelMap",
+    "WorkerCrash",
+    "WorkerContext",
+    "check_spec_concrete",
+    "default_chunk_size",
+    "ensure_picklable",
+    "parse_jobs",
+    "require_results",
+    "resolve_jobs",
+]

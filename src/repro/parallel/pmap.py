@@ -1,0 +1,314 @@
+""":class:`ParallelMap`: ordered, fault-isolated map over processes.
+
+The engine behind every ``--jobs N`` flag in the project.  Design
+constraints, in priority order:
+
+1. **Determinism** — the merged output stream is in item order and
+   byte-identical regardless of ``jobs`` and ``chunk_size``.  Workers
+   may finish out of order; the merge never reorders observable
+   results.  Tasks must therefore be *pure functions of their item*
+   (episode specs are, by construction).
+2. **Fault isolation** — a task that raises, or a worker process that
+   dies, converts into an in-band :class:`WorkerCrash` for exactly the
+   affected items; the rest of the campaign proceeds.  The pool is
+   respawned transparently after a worker death.
+3. **Bounded in-flight work** — at most ``jobs * backlog`` chunks are
+   dispatched ahead of the consumer, so early exit (``max_failures``
+   reached) does not pay for the whole campaign and memory stays flat.
+4. **Fail fast on bad payloads** — the function, the initializer args
+   and every item are pickle-checked *before* dispatch; a deliberately
+   unpicklable spec raises a clear :class:`~repro.errors.GTMError`
+   instead of a raw ``PicklingError`` surfacing from pool internals.
+
+The process backend uses the ``spawn`` start method: workers re-import
+the code fresh, so they cannot inherit parent-process RNG state, open
+locks or partially built schedulers — the same hygiene argument the
+deterministic-execution literature leans on.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import traceback
+from collections import deque
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.errors import GTMError
+
+__all__ = [
+    "ParallelMap",
+    "WorkerCrash",
+    "default_chunk_size",
+    "ensure_picklable",
+    "parse_jobs",
+    "require_results",
+    "resolve_jobs",
+]
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """In-band marker for one item whose task raised or whose worker died.
+
+    Crashes merge back into the result stream instead of propagating, so
+    the caller decides what a crash means (the campaign runner turns it
+    into an ``EpisodeOutcome(crash=...)``).
+    """
+
+    traceback: str
+
+
+def resolve_jobs(jobs: int | str | None) -> int:
+    """Normalize a ``--jobs`` value: ``"auto"``/None -> CPU count."""
+    if jobs is None or jobs == "auto":
+        count = getattr(os, "process_cpu_count", os.cpu_count)()
+        return max(1, count or 1)
+    count = int(jobs)
+    if count < 1:
+        raise GTMError(f"jobs must be >= 1 or 'auto', got {jobs!r}")
+    return count
+
+
+def parse_jobs(text: str) -> int | str:
+    """``argparse`` type= helper accepting ``auto`` or a positive int."""
+    if text == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise GTMError(
+            f"invalid --jobs value {text!r}; expected an integer or "
+            f"'auto'") from None
+    if value < 1:
+        raise GTMError(f"--jobs must be >= 1, got {value}")
+    return value
+
+
+def default_chunk_size(n_items: int, jobs: int) -> int:
+    """Chunks sized so every worker sees ~4 chunks (work stealing
+    granularity) but never more than 32 items cross the pipe at once."""
+    if n_items <= 0 or jobs <= 1:
+        return max(1, n_items)
+    return max(1, min(32, n_items // (jobs * 4) or 1))
+
+
+def ensure_picklable(value: Any, what: str) -> None:
+    """Fail fast with a :class:`GTMError` when ``value`` cannot cross a
+    process boundary (e.g. a spec smuggling a lambda or an open handle).
+    """
+    try:
+        pickle.dumps(value)
+    except Exception as exc:  # noqa: BLE001 - any pickling failure counts
+        raise GTMError(
+            f"{what} is not picklable and cannot be dispatched to a "
+            f"worker process; parallel execution requires fully "
+            f"concrete payloads (builtin scalars and tuples). "
+            f"Original error: {exc!r}") from exc
+
+
+def require_results(results: list, what: str = "parallel task") -> list:
+    """For consumers where a crash is fatal (paper experiments): raise
+    the first :class:`WorkerCrash` as a :class:`GTMError`."""
+    for result in results:
+        if isinstance(result, WorkerCrash):
+            raise GTMError(
+                f"{what} crashed in a worker process:\n"
+                f"{result.traceback}")
+    return results
+
+
+def _crash_text(exc: BaseException) -> str:
+    """Traceback text with the dispatch frame dropped, so serial and
+    process backends render the *same* text for the same task failure."""
+    tb = exc.__traceback__
+    if tb is not None:
+        tb = tb.tb_next
+    return "".join(
+        traceback.format_exception(type(exc), exc, tb, limit=8))
+
+
+def _apply(fn: Callable[[Any], Any], item: Any) -> Any:
+    """Run one task, converting any failure into a WorkerCrash."""
+    try:
+        return fn(item)
+    except KeyboardInterrupt:  # propagate: the user is shutting us down
+        raise
+    except BaseException as exc:  # noqa: BLE001 - crashes ARE results
+        return WorkerCrash(_crash_text(exc))
+
+
+def _run_chunk(fn: Callable[[Any], Any], chunk: Sequence[Any]) -> list[Any]:
+    """Worker-side chunk loop (top-level so ``spawn`` can import it)."""
+    return [_apply(fn, item) for item in chunk]
+
+
+class ParallelMap:
+    """Ordered map of a pure function over a sized sequence of items.
+
+    ``jobs=1`` runs a lazy in-process serial backend (no pool, no
+    pickling) with identical crash semantics; ``jobs>1`` runs a
+    spawn-based process pool.  ``initializer(*initargs)`` runs once per
+    worker (and once in-process for the serial backend), so per-campaign
+    state — fuzz config, seed, injection hooks — is built once per
+    worker instead of being shipped with every item.
+    """
+
+    def __init__(self, jobs: int | str = 1,
+                 chunk_size: int | None = None,
+                 initializer: Callable[..., None] | None = None,
+                 initargs: tuple[Any, ...] = (),
+                 backlog: int = 2) -> None:
+        self.jobs = resolve_jobs(jobs)
+        if chunk_size is not None and chunk_size < 1:
+            raise GTMError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self.initializer = initializer
+        self.initargs = initargs
+        self.backlog = max(1, backlog)
+
+    # -- public API ------------------------------------------------------
+
+    def imap(self, fn: Callable[[Any], Any],
+             items: Sequence[Any]) -> Iterator[tuple[int, Any]]:
+        """Yield ``(index, result)`` in item order.
+
+        A result is either ``fn(item)`` or a :class:`WorkerCrash`.
+        Closing the generator early (``break``) cancels undispatched
+        work and shuts the pool down cleanly — including on
+        ``KeyboardInterrupt``.
+        """
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            return self._imap_serial(fn, items)
+        return self._imap_pool(fn, items)
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Sequence[Any]) -> list[Any]:
+        """Eager variant: the full ordered result list."""
+        return [result for _, result in self.imap(fn, items)]
+
+    # -- serial backend --------------------------------------------------
+
+    def _imap_serial(self, fn: Callable[[Any], Any],
+                     items: list[Any]) -> Iterator[tuple[int, Any]]:
+        if self.initializer is not None:
+            self.initializer(*self.initargs)
+        for index, item in enumerate(items):
+            yield index, _apply(fn, item)
+
+    # -- process backend -------------------------------------------------
+
+    def _imap_pool(self, fn: Callable[[Any], Any],
+                   items: list[Any]) -> Iterator[tuple[int, Any]]:
+        ensure_picklable(fn, "the mapped function")
+        ensure_picklable(self.initargs, "the worker initializer args")
+        for item in items:
+            ensure_picklable(item, f"work item {item!r}")
+
+        chunk_size = self.chunk_size or default_chunk_size(
+            len(items), self.jobs)
+        chunks: list[list[Any]] = [
+            items[start:start + chunk_size]
+            for start in range(0, len(items), chunk_size)]
+        window_limit = self.jobs * self.backlog
+
+        executor = self._spawn_executor()
+        #: chunks awaiting results, in dispatch (= item) order.
+        window: deque[tuple[int, Any]] = deque()
+        #: consecutive chunks written off to pool deaths; a run of
+        #: these means the pool cannot stay up at all (e.g. the worker
+        #: initializer itself dies), which is a setup error, not a
+        #: per-episode fault to isolate.
+        consecutive_deaths = 0
+        next_chunk = 0
+        index = 0
+
+        def resubmit_window() -> None:
+            """A pool death invalidates every in-flight future; resubmit
+            the affected chunks, in order, on the (healed) executor."""
+            nonlocal window
+            window = deque(
+                (ci, executor.submit(_run_chunk, fn, chunks[ci]))
+                for ci, _ in window)
+
+        def refresh_pool() -> None:
+            nonlocal executor
+            executor.shutdown(wait=False, cancel_futures=True)
+            executor = self._spawn_executor()
+            resubmit_window()
+
+        def submit_next() -> None:
+            nonlocal next_chunk
+            try:
+                future = executor.submit(_run_chunk, fn,
+                                         chunks[next_chunk])
+            except (BrokenExecutor, OSError):
+                # a worker died between results; heal the pool first.
+                refresh_pool()
+                future = executor.submit(_run_chunk, fn,
+                                         chunks[next_chunk])
+            window.append((next_chunk, future))
+            next_chunk += 1
+
+        try:
+            while window or next_chunk < len(chunks):
+                while (next_chunk < len(chunks)
+                       and len(window) < window_limit):
+                    submit_next()
+                chunk_index, future = window.popleft()
+                try:
+                    results = future.result()
+                    chunk_died = False
+                except (BrokenExecutor, OSError):
+                    executor, results, chunk_died = self._recover_chunk(
+                        executor, fn, chunks[chunk_index])
+                    resubmit_window()
+                except Exception as exc:  # result transport failure
+                    raise GTMError(
+                        f"parallel worker failed to return a result "
+                        f"(is the outcome picklable?): {exc!r}") from exc
+                consecutive_deaths = (consecutive_deaths + 1 if chunk_died
+                                      else 0)
+                if consecutive_deaths >= 3:
+                    raise GTMError(
+                        "worker pool keeps dying (3 consecutive chunks "
+                        "lost to worker deaths); giving up on the "
+                        "parallel run — check the worker initializer "
+                        "and the task for hard process exits")
+                for result in results:
+                    yield index, result
+                    index += 1
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _spawn_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=get_context("spawn"),
+            initializer=self.initializer,
+            initargs=self.initargs)
+
+    def _recover_chunk(self, executor: ProcessPoolExecutor,
+                       fn: Callable[[Any], Any], chunk: list[Any]
+                       ) -> tuple[ProcessPoolExecutor, list[Any], bool]:
+        """A chunk's future died with the pool.  Retry it on a fresh
+        pool (an innocent chunk that was merely in flight when another
+        worker died recovers here); a chunk that kills the pool *again*
+        is the culprit and crashes item-wise.  Retrying is sound
+        because tasks are pure functions of their items."""
+        executor.shutdown(wait=False, cancel_futures=True)
+        executor = self._spawn_executor()
+        try:
+            results = executor.submit(_run_chunk, fn, chunk).result()
+            return executor, results, False
+        except (BrokenExecutor, OSError):
+            executor.shutdown(wait=False, cancel_futures=True)
+            crash = WorkerCrash(
+                "worker process died while running this work item "
+                "(killed, out-of-memory, or hard interpreter exit); "
+                "the pool was respawned and the campaign continued\n")
+            return self._spawn_executor(), [crash] * len(chunk), True

@@ -1,0 +1,81 @@
+"""Warm per-worker state and payload hygiene for parallel campaigns.
+
+Workers are spawned fresh (no inherited RNG, no inherited schedulers),
+and everything expensive or campaign-constant — the fuzz config, the
+campaign seed, fault-injection hooks — is installed *once per worker*
+by the pool initializer instead of being pickled along with every work
+item.  The items themselves then shrink to bare episode indices, which
+is the slimmest possible process-boundary payload.
+
+:class:`WorkerContext` is the module-level slot the initializers write
+into; :func:`check_spec_concrete` is the dispatch-time guard that every
+episode spec is a pure tree of builtin scalars and tuples (the fuzzer's
+documented contract), so nothing that cannot cross a process boundary —
+lambdas, open handles, live scheduler objects — sneaks into a payload.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import GTMError
+
+__all__ = ["WorkerContext", "check_spec_concrete"]
+
+
+class WorkerContext:
+    """Per-process campaign state, written once by a pool initializer.
+
+    A plain module-global dict with a guarded getter: reading a key the
+    initializer never installed is a programming error (the pool was
+    built without its initializer), and the error message says so
+    instead of surfacing a bare ``KeyError`` from a worker.
+    """
+
+    _slots: dict[str, Any] = {}
+
+    @classmethod
+    def install(cls, **values: Any) -> None:
+        """Replace the context (initializers own the whole namespace)."""
+        cls._slots = dict(values)
+
+    @classmethod
+    def get(cls, name: str) -> Any:
+        try:
+            return cls._slots[name]
+        except KeyError:
+            raise GTMError(
+                f"worker context slot {name!r} was never installed; "
+                f"was the ParallelMap built without its initializer?"
+            ) from None
+
+
+#: Builtin leaf types an episode spec may contain.  ``None`` is the
+#: absent-timeout marker; bool is a subclass of int but listed for
+#: clarity.
+_CONCRETE_SCALARS = (type(None), bool, int, float, str)
+
+
+def check_spec_concrete(value: Any, path: str = "spec") -> None:
+    """Assert ``value`` is a tree of builtin scalars / tuples / dataclass
+    wrappers thereof, raising :class:`GTMError` naming the offender.
+
+    Specs satisfying this are trivially picklable, replayable from
+    their ``repr`` and independent of any parent-process state — the
+    three properties parallel dispatch relies on.
+    """
+    if isinstance(value, _CONCRETE_SCALARS):
+        return
+    if isinstance(value, tuple):
+        for position, element in enumerate(value):
+            check_spec_concrete(element, f"{path}[{position}]")
+        return
+    fields = getattr(value, "__dataclass_fields__", None)
+    if fields is not None:
+        for name in fields:
+            check_spec_concrete(getattr(value, name), f"{path}.{name}")
+        return
+    raise GTMError(
+        f"episode spec is not fully concrete: {path} holds "
+        f"{type(value).__name__!r} ({value!r}); parallel dispatch "
+        f"requires builtin scalars and tuples only")

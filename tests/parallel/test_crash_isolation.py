@@ -1,0 +1,48 @@
+"""Fault isolation: one poisoned episode never sinks a campaign.
+
+Covers both failure modes: a task that *raises* in a worker (converted
+in-band by the worker loop) and a worker process that *dies outright*
+(converted by the pool-recovery path, after the retry that clears
+innocent in-flight chunks).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.check.fuzzer import FuzzConfig
+from repro.check.runner import run_campaign
+from repro.parallel import ParallelMap, WorkerCrash
+
+SEED = 997
+
+
+# Top-level so spawn workers can import it.
+def _die_on_five(x: int) -> int:
+    if x == 5:
+        os._exit(13)  # hard interpreter exit: no cleanup, no traceback
+    return x + 100
+
+
+def test_poisoned_episode_does_not_sink_the_campaign():
+    report = run_campaign(FuzzConfig(scheduler="gtm"), seed=SEED,
+                          episodes=8, jobs=2, chunk_size=1,
+                          max_failures=8, crash_indices={2},
+                          shrink_failures=False)
+    # exactly the injected episode failed; the rest ran and counted.
+    assert len(report.failures) == 1
+    assert "injected worker crash at episode 2" in \
+        report.failures[0].crash
+    assert report.episodes == 8
+    assert report.committed > 0
+
+
+def test_worker_death_is_isolated_to_the_dying_item():
+    results = ParallelMap(jobs=2, chunk_size=1).map(
+        _die_on_five, range(8))
+    crashes = [k for k, r in enumerate(results)
+               if isinstance(r, WorkerCrash)]
+    assert crashes == [5]
+    assert "worker process died" in results[5].traceback
+    for k in (0, 1, 2, 3, 4, 6, 7):
+        assert results[k] == k + 100

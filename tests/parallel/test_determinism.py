@@ -1,0 +1,75 @@
+"""Serial-vs-parallel determinism: the tentpole guarantee.
+
+The same seeded campaign must produce a byte-identical report —
+summary, totals, failure text, rolling digest — no matter how many
+worker processes it is sharded over or how episodes are chunked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.differential import run_differential_campaign
+from repro.check.fuzzer import FuzzConfig
+from repro.check.runner import CampaignReport, run_campaign
+
+SEED = 424242
+EPISODES = 10
+
+
+def _fingerprint(report: CampaignReport) -> tuple:
+    return (report.summary(), report.digest, report.committed,
+            report.aborted,
+            tuple(outcome.summary() for outcome in report.failures))
+
+
+@pytest.fixture(scope="module")
+def serial_campaign() -> CampaignReport:
+    return run_campaign(FuzzConfig(scheduler="gtm"), seed=SEED,
+                        episodes=EPISODES, jobs=1)
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_campaign_identical_across_jobs(serial_campaign, jobs):
+    parallel = run_campaign(FuzzConfig(scheduler="gtm"), seed=SEED,
+                            episodes=EPISODES, jobs=jobs)
+    assert _fingerprint(parallel) == _fingerprint(serial_campaign)
+
+
+@pytest.mark.parametrize("chunk_size", [1, 7, 32])
+def test_campaign_identical_across_chunk_sizes(serial_campaign,
+                                               chunk_size):
+    parallel = run_campaign(FuzzConfig(scheduler="gtm"), seed=SEED,
+                            episodes=EPISODES, jobs=2,
+                            chunk_size=chunk_size)
+    assert _fingerprint(parallel) == _fingerprint(serial_campaign)
+
+
+def test_campaign_digest_is_order_sensitive(serial_campaign):
+    other = run_campaign(FuzzConfig(scheduler="gtm"), seed=SEED + 1,
+                         episodes=EPISODES, jobs=1)
+    assert other.digest != serial_campaign.digest
+
+
+def test_differential_digest_identical_across_jobs():
+    config = FuzzConfig(scheduler="gtm")
+    serial = run_differential_campaign(config, seed=SEED, episodes=6,
+                                       jobs=1)
+    parallel = run_differential_campaign(config, seed=SEED, episodes=6,
+                                         jobs=2, chunk_size=2)
+    assert serial.ok and parallel.ok
+    assert serial.digest == parallel.digest
+    assert serial.summary() == parallel.summary()
+
+
+def test_injected_crash_is_deterministic_across_backends():
+    config = FuzzConfig(scheduler="gtm")
+    serial = run_campaign(config, seed=SEED, episodes=6, jobs=1,
+                          crash_indices={3}, shrink_failures=False)
+    parallel = run_campaign(config, seed=SEED, episodes=6, jobs=2,
+                            chunk_size=1, crash_indices={3},
+                            shrink_failures=False)
+    assert not serial.ok and not parallel.ok
+    assert "injected worker crash at episode 3" in \
+        serial.failures[0].crash
+    assert _fingerprint(serial) == _fingerprint(parallel)

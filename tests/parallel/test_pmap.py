@@ -1,0 +1,173 @@
+"""Unit tests for the :class:`repro.parallel.ParallelMap` engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GTMError
+from repro.parallel import (
+    ParallelMap,
+    WorkerCrash,
+    WorkerContext,
+    check_spec_concrete,
+    default_chunk_size,
+    ensure_picklable,
+    parse_jobs,
+    require_results,
+    resolve_jobs,
+)
+
+
+# Task functions must be top-level so spawn workers can import them.
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _boom_on_three(x: int) -> int:
+    if x == 3:
+        raise ValueError(f"poisoned item {x}")
+    return x * x
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(4) == 4
+    assert resolve_jobs("auto") >= 1
+    assert resolve_jobs(None) >= 1
+    with pytest.raises(GTMError):
+        resolve_jobs(0)
+    with pytest.raises(GTMError):
+        resolve_jobs(-2)
+
+
+def test_parse_jobs():
+    assert parse_jobs("auto") == "auto"
+    assert parse_jobs("3") == 3
+    with pytest.raises(GTMError):
+        parse_jobs("0")
+    with pytest.raises(GTMError):
+        parse_jobs("many")
+
+
+def test_default_chunk_size_bounds():
+    assert default_chunk_size(0, 4) == 1
+    assert default_chunk_size(10, 1) == 10
+    assert default_chunk_size(8, 4) == 1
+    assert default_chunk_size(10_000, 4) == 32  # capped
+    for n_items in (1, 5, 17, 100, 1000):
+        for jobs in (1, 2, 4, 8):
+            assert default_chunk_size(n_items, jobs) >= 1
+
+
+def test_serial_map_order_and_values():
+    mapper = ParallelMap(jobs=1)
+    assert mapper.map(_square, range(7)) == [k * k for k in range(7)]
+    assert list(mapper.imap(_square, [3, 1])) == [(0, 9), (1, 1)]
+
+
+def test_serial_crash_is_in_band():
+    results = ParallelMap(jobs=1).map(_boom_on_three, range(5))
+    assert [r for r in results if isinstance(r, WorkerCrash)]
+    crash = results[3]
+    assert isinstance(crash, WorkerCrash)
+    assert "poisoned item 3" in crash.traceback
+    assert results[0] == 0 and results[4] == 16
+
+
+def test_parallel_matches_serial_across_chunk_sizes():
+    serial = ParallelMap(jobs=1).map(_square, range(11))
+    for chunk_size in (1, 3, 32):
+        parallel = ParallelMap(jobs=2, chunk_size=chunk_size).map(
+            _square, range(11))
+        assert parallel == serial
+
+
+def test_parallel_crash_text_matches_serial():
+    serial = ParallelMap(jobs=1).map(_boom_on_three, range(5))
+    parallel = ParallelMap(jobs=2, chunk_size=2).map(
+        _boom_on_three, range(5))
+    assert parallel == serial  # WorkerCrash is a frozen dataclass
+
+
+def test_early_exit_closes_pool():
+    mapper = ParallelMap(jobs=2, chunk_size=1)
+    stream = mapper.imap(_square, range(50))
+    try:
+        for index, result in stream:
+            assert result == index * index
+            if index >= 2:
+                break
+    finally:
+        stream.close()  # must not hang on undispatched work
+
+
+def test_unpicklable_item_is_a_clear_error():
+    with pytest.raises(GTMError, match="not picklable"):
+        ParallelMap(jobs=2).map(_square, [1, lambda: 2, 3])
+
+
+def test_unpicklable_function_is_a_clear_error():
+    with pytest.raises(GTMError, match="not picklable"):
+        ParallelMap(jobs=2).map(lambda x: x, [1, 2])
+
+
+def test_unpicklable_initargs_is_a_clear_error():
+    mapper = ParallelMap(jobs=2, initializer=print,
+                         initargs=(lambda: None,))
+    with pytest.raises(GTMError, match="not picklable"):
+        mapper.map(_square, [1, 2])
+
+
+def test_ensure_picklable_passthrough():
+    ensure_picklable((1, "a", 2.5), "a concrete payload")
+    with open(__file__) as handle:
+        with pytest.raises(GTMError, match="not picklable"):
+            ensure_picklable(handle, "an open handle")
+
+
+def test_require_results_raises_on_crash():
+    crash = WorkerCrash("Traceback ...\nValueError: nope\n")
+    with pytest.raises(GTMError, match="crashed in a worker"):
+        require_results([1, crash, 3], "unit task")
+    assert require_results([1, 2]) == [1, 2]
+
+
+def test_invalid_chunk_size():
+    with pytest.raises(GTMError):
+        ParallelMap(jobs=2, chunk_size=0)
+
+
+def test_worker_context_guarded_getter():
+    WorkerContext.install(alpha=0.7)
+    assert WorkerContext.get("alpha") == 0.7
+    with pytest.raises(GTMError, match="never installed"):
+        WorkerContext.get("beta")
+    WorkerContext.install()  # leave a clean context behind
+
+
+def test_check_spec_concrete_accepts_real_specs():
+    from repro.check.fuzzer import FuzzConfig, generate_episode
+    config = FuzzConfig(scheduler="gtm")
+    check_spec_concrete(config)
+    check_spec_concrete(generate_episode(config, seed=7, index=0))
+
+
+def test_check_spec_concrete_names_the_offender():
+    with pytest.raises(GTMError, match=r"spec\[1\]"):
+        check_spec_concrete((1, lambda: 2))
+    with pytest.raises(GTMError, match="not fully concrete"):
+        check_spec_concrete([1, 2])  # lists are not the spec contract
+
+
+def test_campaign_rejects_non_concrete_config_before_dispatch():
+    """A config smuggling a callable must die with a clear GTMError at
+    dispatch time — never a raw PicklingError from pool internals."""
+    from repro.check.fuzzer import FuzzConfig
+    from repro.check.runner import run_campaign
+    config = FuzzConfig(scheduler="gtm")
+    object.__setattr__(config, "arrival_spread", lambda: 6.0)
+    with pytest.raises(GTMError, match="not fully concrete"):
+        run_campaign(config, seed=1, episodes=2, jobs=2)
+    with pytest.raises(GTMError, match="not fully concrete"):
+        run_campaign(config, seed=1, episodes=2, jobs=1)
