@@ -42,6 +42,16 @@ def test_perf_smoke_meets_acceptance_bar():
         {"gtm", "2pl", "optimistic"}
     for digest in scaling["campaign_digests"].values():
         assert len(digest) == 64  # a full sha256 hex digest
+    # observability: digest neutrality is a hard gate; the overhead
+    # budget is 10% on the smoke profile (min-of-2 timing per side
+    # strips most scheduler noise out of the ratio).
+    obs = payload["observability"]
+    assert obs["digests_identical"] is True
+    assert obs["span_count"] > 0
+    assert obs["grants_total"] > 0
+    assert obs["overhead_pct"] <= 10.0, (
+        f"observability overhead {obs['overhead_pct']:.1f}% "
+        f"exceeds the 10% budget")
 
 
 def test_bench_cli_writes_json_and_exits_clean(tmp_path):

@@ -63,6 +63,10 @@ def main(argv: list[str] | None = None) -> int:
             print("PARALLEL CAMPAIGN DIVERGED FROM SERIAL",
                   file=sys.stderr)
             return 1
+        if not payload["observability"]["digests_identical"]:
+            print("OBSERVABILITY PERTURBED THE CAMPAIGN DIGEST",
+                  file=sys.stderr)
+            return 1
         return 0
 
     if not arguments.experiments:

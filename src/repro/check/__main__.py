@@ -25,6 +25,7 @@ from repro.check.runner import (
     run_campaign,
 )
 from repro.metrics.trace import write_episode_trace
+from repro.obs.export import render_frame_summary
 from repro.parallel import parse_jobs
 
 
@@ -60,6 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the generated regression test here")
     parser.add_argument("--trace-dir", metavar="DIR",
                         help="dump JSON episode traces of failures here")
+    parser.add_argument("--observe", action="store_true",
+                        help="record per-episode metrics and print the "
+                             "merged fleet table (digest-neutral: never "
+                             "changes results; span tracing is a "
+                             "programmatic opt-in via ObsConfig)")
     parser.add_argument("--quiet", action="store_true",
                         help="only print campaign summaries")
     return parser
@@ -119,8 +125,11 @@ def main(argv: list[str] | None = None) -> int:
                               max_failures=args.max_failures,
                               shrink_failures=not args.no_shrink,
                               progress=progress, jobs=args.jobs,
-                              chunk_size=args.chunk_size)
+                              chunk_size=args.chunk_size,
+                              observe=args.observe)
         print(report.summary())
+        if args.observe and report.metrics is not None:
+            print(render_frame_summary(report.metrics))
         if not report.ok:
             exit_code = 1
             _report_failures(report, args)

@@ -134,10 +134,14 @@ def comparison_digest(comparison: EpisodeComparison) -> str:
 
 
 def _gtm_variant_scheduler(spec: EpisodeSpec,
-                           overrides: dict[str, Any]) -> GTMScheduler:
+                           overrides: dict[str, Any],
+                           observe: "bool | ObsConfig" = False) -> GTMScheduler:
+    from repro.check.runner import OBSERVE_DEFAULT
+    obs = OBSERVE_DEFAULT if observe is True else (observe or None)
     return GTMScheduler(GTMSchedulerConfig(
         gtm_config=GTMConfig(**overrides),
-        wait_timeout=spec.wait_timeout))
+        wait_timeout=spec.wait_timeout,
+        obs=obs))
 
 
 def _run_variant(spec: EpisodeSpec, label: str,
@@ -159,21 +163,27 @@ def _run_variant(spec: EpisodeSpec, label: str,
     return run
 
 
-def compare_episode(spec: EpisodeSpec) -> EpisodeComparison:
+def compare_episode(spec: EpisodeSpec,
+                    observe: "bool | ObsConfig" = False) -> EpisodeComparison:
     """Run every variant of one episode and diff the outcomes.
 
     GTM episodes compare the three engine variants against each other;
     baseline episodes compare two identical runs (determinism).
+    ``observe`` switches the :mod:`repro.obs` layer on inside every
+    variant run; traces exclude obs artifacts, so the comparison (and
+    its digest) must be unchanged — the obs-neutrality CI job diffs
+    campaign digests with ``observe`` off vs on to prove it.
     """
     if spec.scheduler == "gtm":
         runs = [_run_variant(spec, label,
                              lambda o=overrides:
-                             _gtm_variant_scheduler(spec, o))
+                             _gtm_variant_scheduler(spec, o, observe))
                 for label, overrides in GTM_VARIANTS]
     elif spec.scheduler in ("2pl", "optimistic"):
         from repro.check.runner import build_scheduler
         runs = [_run_variant(spec, f"{spec.scheduler}-run{i}",
-                             lambda: build_scheduler(spec))
+                             lambda: build_scheduler(spec,
+                                                     observe=observe))
                 for i in (1, 2)]
     else:
         raise WorkloadError(f"unknown scheduler {spec.scheduler!r}")
@@ -210,9 +220,10 @@ def _first_trace_diff(a: dict[str, Any] | None,
     return "(no differing key found)"
 
 
-def _init_differential_worker(config: FuzzConfig, seed: int) -> None:
+def _init_differential_worker(config: FuzzConfig, seed: int,
+                              observe: "bool | ObsConfig" = False) -> None:
     """Pool initializer: campaign constants, built once per worker."""
-    WorkerContext.install(config=config, seed=seed)
+    WorkerContext.install(config=config, seed=seed, observe=observe)
 
 
 def _differential_episode_task(index: int) -> tuple[bool, str]:
@@ -223,7 +234,8 @@ def _differential_episode_task(index: int) -> tuple[bool, str]:
     """
     spec = generate_episode(WorkerContext.get("config"),
                             WorkerContext.get("seed"), index)
-    comparison = compare_episode(spec)
+    comparison = compare_episode(spec,
+                                 observe=WorkerContext.get("observe"))
     return comparison.ok, comparison_digest(comparison)
 
 
@@ -232,6 +244,7 @@ def run_differential_campaign(
         max_divergences: int = 5,
         progress: Callable[[int, bool], None] | None = None,
         jobs: int | str = 1, chunk_size: int | None = None,
+        observe: "bool | ObsConfig" = False,
 ) -> DifferentialReport:
     """Run ``episodes`` seeded episodes through every variant.
 
@@ -248,7 +261,7 @@ def run_differential_campaign(
     rolling = hashlib.sha256()
     mapper = ParallelMap(jobs=jobs, chunk_size=chunk_size,
                          initializer=_init_differential_worker,
-                         initargs=(config, seed))
+                         initargs=(config, seed, observe))
     stream = mapper.imap(_differential_episode_task, range(episodes))
     try:
         for index, merged in stream:
@@ -270,7 +283,7 @@ def run_differential_campaign(
             if not ok:
                 if comparison is None:
                     spec = generate_episode(config, seed, index)
-                    comparison = compare_episode(spec)
+                    comparison = compare_episode(spec, observe=observe)
                 report.divergent.append(comparison)
                 if len(report.divergent) >= max_divergences:
                     break

@@ -10,6 +10,7 @@ the class of bug a final-state oracle cannot see.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING
 
 from repro.core.states import TransactionState, can_transition
@@ -17,6 +18,7 @@ from repro.errors import GTMError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.gtm import GlobalTransactionManager
+    from repro.metrics.collectors import MetricsCollector
 
 
 def check_episode_invariants(gtm: "GlobalTransactionManager") -> list[str]:
@@ -92,4 +94,55 @@ def _quiescence_invariants(gtm: "GlobalTransactionManager") -> list[str]:
             violations.append(
                 f"object {name!r}: deferred-commit queue not drained: "
                 f"{list(queue)}")
+    return violations
+
+
+def check_timeline_invariants(collector: "MetricsCollector") -> list[str]:
+    """Validate every timeline's interval bookkeeping (empty = clean).
+
+    Run after :meth:`MetricsCollector.finalize`, when no interval may
+    remain open.  The rules are exactly the accounting bugs this layer
+    has had: dangling interval starts, overlapping wait/sleep intervals
+    (sleeping pre-empts waiting — the two are disjoint by definition),
+    and totals drifting from the closed intervals that compose them.
+    """
+    violations: list[str] = []
+    for txn_id, timeline in collector.timelines.items():
+        if timeline._wait_started is not None:
+            violations.append(
+                f"timeline {txn_id!r}: wait interval still open after "
+                f"finalize (started {timeline._wait_started})")
+        if timeline._sleep_started is not None:
+            violations.append(
+                f"timeline {txn_id!r}: sleep interval still open after "
+                f"finalize (started {timeline._sleep_started})")
+        wait_sum = sleep_sum = 0.0
+        for kind, start, end in timeline.intervals:
+            if end < start:
+                violations.append(
+                    f"timeline {txn_id!r}: inverted {kind} interval "
+                    f"[{start}, {end}]")
+            if kind == "wait":
+                wait_sum += end - start
+            elif kind == "sleep":
+                sleep_sum += end - start
+            else:
+                violations.append(
+                    f"timeline {txn_id!r}: unknown interval kind {kind!r}")
+        ordered = sorted(timeline.intervals, key=lambda i: (i[1], i[2]))
+        for (_, _, prev_end), (kind, start, _) in zip(ordered, ordered[1:]):
+            # touching is fine (a wait closes exactly when a sleep
+            # opens); any real overlap double-counts time.
+            if start < prev_end and not math.isclose(start, prev_end):
+                violations.append(
+                    f"timeline {txn_id!r}: {kind} interval starting at "
+                    f"{start} overlaps the previous one ending {prev_end}")
+        if not math.isclose(wait_sum, timeline.wait_time, abs_tol=1e-9):
+            violations.append(
+                f"timeline {txn_id!r}: wait_time {timeline.wait_time} != "
+                f"closed-interval sum {wait_sum}")
+        if not math.isclose(sleep_sum, timeline.sleep_time, abs_tol=1e-9):
+            violations.append(
+                f"timeline {txn_id!r}: sleep_time {timeline.sleep_time} "
+                f"!= closed-interval sum {sleep_sum}")
     return violations

@@ -28,7 +28,10 @@ from repro.check.fuzzer import (
     episode_workload,
     generate_episode,
 )
-from repro.check.invariants import check_episode_invariants
+from repro.check.invariants import (
+    check_episode_invariants,
+    check_timeline_invariants,
+)
 from repro.check.oracle import (
     OracleReport,
     check_episode,
@@ -37,6 +40,13 @@ from repro.check.oracle import (
 )
 from repro.check.shrinker import render_regression_test, shrink_episode
 from repro.errors import WorkloadError
+from repro.obs import (
+    ObsConfig,
+    ObsFrame,
+    frame_from_collector,
+    merge_frames,
+)
+
 from repro.parallel import (
     ParallelMap,
     WorkerContext,
@@ -49,6 +59,13 @@ from repro.schedulers.twopl_scheduler import (
     TwoPLScheduler,
     TwoPLSchedulerConfig,
 )
+
+#: What ``observe=True`` means throughout the campaign stack: the
+#: always-on metrics path (measured <= 10% overhead on the perf smoke
+#: profile).  Span tracing allocates per-event and costs ~2x that on
+#: sub-millisecond episodes, so it stays an explicit opt-in — pass an
+#: :class:`ObsConfig` with ``tracing=True`` as the ``observe`` value.
+OBSERVE_DEFAULT = ObsConfig(tracing=False, metrics=True)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.schedulers.base import Scheduler, SchedulerResult
@@ -68,6 +85,10 @@ class EpisodeOutcome:
     crash: str | None = None
     #: The raw scheduler result (None when the run crashed).
     result: "SchedulerResult | None" = field(default=None, repr=False)
+    #: Per-episode observability frame (None unless observe=True).
+    #: Deliberately excluded from :meth:`summary` — campaign digests
+    #: must not move when observability is switched on.
+    obs_frame: ObsFrame | None = field(default=None, repr=False)
 
     def summary(self) -> str:
         lines = [self.spec.describe(),
@@ -86,11 +107,20 @@ class EpisodeOutcome:
         return "\n".join(lines)
 
 
-def build_scheduler(spec: EpisodeSpec) -> "Scheduler":
-    """The scheduler under test, configured from the spec."""
+def build_scheduler(spec: EpisodeSpec,
+                    observe: "bool | ObsConfig" = False) -> "Scheduler":
+    """The scheduler under test, configured from the spec.
+
+    ``observe`` switches on the :mod:`repro.obs` layer for schedulers
+    that support it (the GTM's event bus); it must never change the
+    run itself — ``repro.obs.selfcheck`` holds us to that.  ``True``
+    means :data:`OBSERVE_DEFAULT` (metrics, no tracing); pass an
+    :class:`ObsConfig` to choose the mode explicitly.
+    """
     if spec.scheduler == "gtm":
+        obs = OBSERVE_DEFAULT if observe is True else (observe or None)
         return GTMScheduler(
-            GTMSchedulerConfig(wait_timeout=spec.wait_timeout))
+            GTMSchedulerConfig(wait_timeout=spec.wait_timeout, obs=obs))
     if spec.scheduler == "2pl":
         return TwoPLScheduler(
             TwoPLSchedulerConfig(wait_timeout=spec.wait_timeout))
@@ -99,10 +129,10 @@ def build_scheduler(spec: EpisodeSpec) -> "Scheduler":
     raise WorkloadError(f"unknown scheduler {spec.scheduler!r}")
 
 
-def run_episode(spec: EpisodeSpec) -> EpisodeOutcome:
+def run_episode(spec: EpisodeSpec, observe: "bool | ObsConfig" = False) -> EpisodeOutcome:
     """Run one episode and verdict it (oracle + invariants)."""
     workload = episode_workload(spec)
-    scheduler = build_scheduler(spec)
+    scheduler = build_scheduler(spec, observe=observe)
     try:
         result = scheduler.run(workload)
     except Exception:  # noqa: BLE001 - unexpected crashes ARE findings
@@ -119,12 +149,22 @@ def run_episode(spec: EpisodeSpec) -> EpisodeOutcome:
         recorded = record_baseline(workload, result)
         violations = []
         oracle = check_episode(recorded)
+    # interval bookkeeping holds for every scheduler, bus-fed or not
+    violations.extend(check_timeline_invariants(result.collector))
     committed = len(result.collector.committed())
     aborted = len(result.collector.aborted())
     ok = oracle.serializable and not violations
+    obs_frame = None
+    if observe:
+        obs = getattr(result, "obs", None)
+        obs_frame = (obs.frame(scheduler=spec.scheduler)
+                     if obs is not None
+                     else frame_from_collector(result.collector,
+                                               spec.scheduler))
     return EpisodeOutcome(spec, ok=ok, committed=committed,
                           aborted=aborted, oracle=oracle,
-                          invariant_violations=violations, result=result)
+                          invariant_violations=violations, result=result,
+                          obs_frame=obs_frame)
 
 
 def compact_outcome(outcome: EpisodeOutcome) -> EpisodeOutcome:
@@ -137,9 +177,13 @@ def compact_outcome(outcome: EpisodeOutcome) -> EpisodeOutcome:
     return replace(outcome, result=None)
 
 
-def run_episode_compact(spec: EpisodeSpec) -> EpisodeOutcome:
-    """:func:`run_episode` without the raw result — the worker task."""
-    return compact_outcome(run_episode(spec))
+def run_episode_compact(spec: EpisodeSpec,
+                        observe: "bool | ObsConfig" = False) -> EpisodeOutcome:
+    """:func:`run_episode` without the raw result — the worker task.
+
+    The obs frame (small, picklable aggregates) survives compaction;
+    only the raw :class:`SchedulerResult` is dropped."""
+    return compact_outcome(run_episode(spec, observe=observe))
 
 
 def rehydrate_outcome(outcome: EpisodeOutcome) -> EpisodeOutcome:
@@ -157,10 +201,12 @@ def rehydrate_outcome(outcome: EpisodeOutcome) -> EpisodeOutcome:
 
 
 def _init_campaign_worker(config: FuzzConfig, seed: int,
-                          crash_indices: tuple[int, ...]) -> None:
+                          crash_indices: tuple[int, ...],
+                          observe: "bool | ObsConfig" = False) -> None:
     """Pool initializer: campaign constants, built once per worker."""
     WorkerContext.install(config=config, seed=seed,
-                          crash_indices=frozenset(crash_indices))
+                          crash_indices=frozenset(crash_indices),
+                          observe=observe)
 
 
 def _campaign_episode_task(index: int) -> EpisodeOutcome:
@@ -175,7 +221,8 @@ def _campaign_episode_task(index: int) -> EpisodeOutcome:
         raise RuntimeError(f"injected worker crash at episode {index}")
     spec = generate_episode(WorkerContext.get("config"),
                             WorkerContext.get("seed"), index)
-    return run_episode_compact(spec)
+    return run_episode_compact(spec,
+                               observe=WorkerContext.get("observe"))
 
 
 @dataclass
@@ -194,7 +241,11 @@ class CampaignReport:
     regression_test: str | None = None
     #: Rolling hash over every merged episode outcome, in episode
     #: order — two campaigns agree byte-for-byte iff digests match.
+    #: Observability frames feed :attr:`metrics`, never the digest.
     digest: str = ""
+    #: Fleet-wide observability (merged per-episode frames, episode
+    #: order); None unless the campaign ran with ``observe=True``.
+    metrics: ObsFrame | None = None
 
     @property
     def ok(self) -> bool:
@@ -212,7 +263,8 @@ def run_campaign(config: FuzzConfig, seed: int, episodes: int,
                  progress: Callable[[int, EpisodeOutcome], None] | None
                  = None, jobs: int | str = 1,
                  chunk_size: int | None = None,
-                 crash_indices: Iterable[int] = ()) -> CampaignReport:
+                 crash_indices: Iterable[int] = (),
+                 observe: "bool | ObsConfig" = False) -> CampaignReport:
     """Run ``episodes`` seeded episodes; stop after ``max_failures``.
 
     ``jobs`` shards the episodes over worker processes (``"auto"`` =
@@ -223,14 +275,22 @@ def run_campaign(config: FuzzConfig, seed: int, episodes: int,
     Workers that crash (or raise) convert into ``crash=...`` outcomes
     for their episodes only; ``crash_indices`` deliberately poisons
     those episodes for the fault-isolation tests.
+
+    ``observe=True`` records per-episode observability frames in the
+    workers and merges them *in episode order* into
+    :attr:`CampaignReport.metrics`, so a ``jobs=N`` campaign reports
+    the same fleet-wide metrics as a serial one.  Frames never feed
+    the digest: tracing on vs off is digest-neutral by contract.
     """
     check_spec_concrete(config, "campaign config")
     report = CampaignReport(config=config, seed=seed, episodes=episodes)
     rolling = hashlib.sha256()
+    frames: list[ObsFrame | None] = []
     mapper = ParallelMap(
         jobs=jobs, chunk_size=chunk_size,
         initializer=_init_campaign_worker,
-        initargs=(config, seed, tuple(sorted(set(crash_indices)))))
+        initargs=(config, seed, tuple(sorted(set(crash_indices))),
+                  observe))
     stream = mapper.imap(_campaign_episode_task, range(episodes))
     try:
         for index, merged in stream:
@@ -242,6 +302,8 @@ def run_campaign(config: FuzzConfig, seed: int, episodes: int,
                 outcome = merged
             report.committed += outcome.committed
             report.aborted += outcome.aborted
+            if observe:
+                frames.append(outcome.obs_frame)
             rolling.update(f"{index}|{outcome.summary()}\n"
                            .encode("utf-8"))
             report.digest = rolling.hexdigest()
@@ -253,6 +315,8 @@ def run_campaign(config: FuzzConfig, seed: int, episodes: int,
                     break
     finally:
         stream.close()  # cancel undispatched work, shut the pool down
+    if observe:
+        report.metrics = merge_frames(frames)
     if report.failures and shrink_failures:
         first = report.failures[0]
         report.shrunk = shrink_episode(

@@ -416,6 +416,20 @@ class AdmissionController:
             granted.append(entry.txn_id)
         if granted:
             self.bus.on_unlock(obj, tuple(granted), now)
+        # pump telemetry: an *overtake* is a grant handed out while an
+        # earlier-queued candidate stayed blocked (the starvation
+        # policy's conflict-respecting reordering in action).
+        overtakes = 0
+        if granted:
+            granted_set = set(granted)
+            blocked_ahead = 0
+            for entry in candidates:
+                if entry.txn_id in granted_set:
+                    overtakes += blocked_ahead
+                else:
+                    blocked_ahead += 1
+        self.bus.on_pump(obj, len(candidates), tuple(granted), overtakes,
+                         now)
         self._repolice_waiters(obj)
         return tuple(granted)
 
@@ -432,6 +446,7 @@ class AdmissionController:
         after every ⟨unlock, X⟩ keeps the graph current, and a cycle it
         closes is resolved exactly as at request time.
         """
+        refreshed = 0
         for entry in list(obj.waiting):
             txn = self._transactions.get(entry.txn_id)
             if txn is None or not txn.is_in(_TS.WAITING):
@@ -448,6 +463,9 @@ class AdmissionController:
             # drop the stale edges before re-recording (a waiter waits on
             # one object at a time, so this only clears this object's).
             self.deadlock_policy.on_stop_waiting(entry.txn_id)
+            refreshed += 1
             self._police_deadlock(txn, obj, entry.invocation)
             if obj.is_waiting(entry.txn_id):
                 obj.wait_edge_epochs[entry.txn_id] = obj.lock_epoch
+        if refreshed:
+            self.bus.on_repolice(obj, refreshed, self._clock())

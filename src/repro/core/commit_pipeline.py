@@ -146,6 +146,7 @@ class CommitPipeline:
         new_values: dict[str, Any] = {}
         for invocation in invocations.values():
             new_values.update(self.reconcile(txn, obj, invocation))
+            self.bus.on_reconcile(txn, obj, invocation, now)
         obj.new[txn.txn_id] = new_values
         # NOTE: Algorithm 3's postcondition clears A_temp and X_read here,
         # but the paper's own Table II shows both still populated on the

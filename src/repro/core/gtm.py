@@ -330,7 +330,7 @@ class GlobalTransactionManager:
         if txn.t_sleep is None:
             raise ProtocolError("awake", f"{txn_id!r} has no sleep time")
         involved = self._involved_objects(txn)
-        if self.sleep_manager.any_conflict(txn, involved):
+        if self.sleep_manager.revalidate(txn, involved, now):
             self.sleep_manager.abort_conflicted(txn, involved, now)
             return False
         self.sleep_manager.wake_survivor(txn, involved, now)

@@ -93,6 +93,20 @@ class SleepManager:
                      involved: list[ManagedObject]) -> bool:
         return any(self.conflicts(txn, obj) for obj in involved)
 
+    def revalidate(self, txn: GTMTransaction,
+                   involved: list[ManagedObject], now: float) -> bool:
+        """:meth:`any_conflict` with per-object observer telemetry.
+
+        Same evaluation order and short-circuit as ``any_conflict`` —
+        the hook only *reports* each predicate result, so wiring
+        observability cannot change which objects get examined."""
+        for obj in involved:
+            conflicted = self.conflicts(txn, obj)
+            self.bus.on_revalidate(txn, obj, conflicted, now)
+            if conflicted:
+                return True
+        return False
+
     # ------------------------------------------------------------------
     # Algorithms 9 & 10 — the surviving-awakening path
     # ------------------------------------------------------------------

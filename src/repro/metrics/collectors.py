@@ -58,6 +58,12 @@ class TxnTimeline:
 
     def on_sleep_start(self, now: float) -> None:
         if self._sleep_started is None:
+            # Wait and sleep intervals are disjoint by definition: a
+            # disconnected transaction is not accruing queue delay even
+            # if its wait entry stays parked (Algorithm 7 subtracts
+            # sleepers from the effective lock set).  Close any open
+            # wait here or the overlap double-counts the disconnection.
+            self.on_wait_end(now)
             self._sleep_started = now
             self.sleeps += 1
 
@@ -79,6 +85,20 @@ class TxnTimeline:
         self.finished = now
         self.outcome = Outcome.ABORTED
         self.abort_reason = reason
+
+    def finalize(self, now: float) -> None:
+        """Close dangling wait/sleep intervals at episode end.
+
+        A transaction still queued or disconnected when the run's
+        makespan is reached used to leave ``_wait_started`` /
+        ``_sleep_started`` open, silently under-reporting its
+        ``intervals``, ``wait_time`` and ``sleep_time``.  Schedulers
+        call this once at makespan; finished transactions are untouched
+        (commit/abort already closed their intervals)."""
+        if self.outcome is not Outcome.UNFINISHED:
+            return
+        self.on_wait_end(now)
+        self.on_sleep_end(now)
 
     # -- derived ---------------------------------------------------------------
 
@@ -116,6 +136,15 @@ class MetricsCollector:
         return [t for t in self.timelines.values()
                 if t.outcome is Outcome.UNFINISHED]
 
+    def finalize(self, now: float) -> None:
+        """Close every unfinished timeline's open intervals at ``now``.
+
+        Called by the schedulers once the simulation is quiescent so
+        that transactions still waiting or sleeping at makespan report
+        their accrued (not just their *closed*) wait and sleep time."""
+        for timeline in self.timelines.values():
+            timeline.finalize(now)
+
     def __len__(self) -> int:
         return len(self.timelines)
 
@@ -150,7 +179,18 @@ class TimelineObserver(GTMObserver):
         timeline = self._timeline(txn.txn_id)
         if timeline is None:
             return
-        timeline.on_wait_end(now)
+        # Close the wait interval only when the transaction has no
+        # queued invocation left (A_t_wait = ⊥).  The admission
+        # controller clears the object's t_wait entry *before* firing
+        # on_grant (pump_unlock: clear_wait then grant), so after the
+        # grant that unblocks the client t_wait is empty — but a grant
+        # delivered while the transaction is still queued elsewhere
+        # (e.g. a driver that fans one logical multi-member invocation
+        # across several objects, or the Algorithm 9 queue-jump regrant
+        # firing before wake_survivor clears A_t_wait) must not end a
+        # wait the transaction is still in.
+        if not txn.t_wait:
+            timeline.on_wait_end(now)
         if timeline.first_grant is None:
             timeline.first_grant = now
 

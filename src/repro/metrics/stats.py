@@ -44,6 +44,14 @@ class RunStats:
     #: committed transactions per simulated second.
     throughput: float
     makespan: float
+    #: Total wait time over *every* timeline — committed, aborted and
+    #: unfinished (finalized at makespan), so nothing under-reports.
+    total_wait_time: float = 0.0
+    #: Total sleep time over every timeline (same coverage).
+    total_sleep_time: float = 0.0
+    #: Wait/sleep accrued by transactions still unfinished at makespan.
+    unfinished_wait_time: float = 0.0
+    unfinished_sleep_time: float = 0.0
 
     def as_row(self) -> dict[str, float]:
         """Flat dict for table rendering."""
@@ -87,6 +95,10 @@ def summarize(collector: MetricsCollector,
         p95_execution_time=_percentile(exec_times, 95),
         avg_wait_time=_mean([t.wait_time for t in committed]),
         avg_sleep_time=_mean([t.sleep_time for t in committed]),
+        total_wait_time=sum(t.wait_time for t in timelines),
+        total_sleep_time=sum(t.sleep_time for t in timelines),
+        unfinished_wait_time=sum(t.wait_time for t in unfinished),
+        unfinished_sleep_time=sum(t.sleep_time for t in unfinished),
         abort_percentage=(100.0 * len(aborted) / finished_count
                           if finished_count else 0.0),
         throughput=(len(committed) / makespan if makespan else 0.0),

@@ -1,0 +1,229 @@
+"""Span tracing over the GTM event stream.
+
+A *span* is a named interval on the virtual clock with a subject (the
+transaction or object it describes) and a small attribute dict.  Span
+ids are sequence numbers handed out by the recorder, so a deterministic
+episode produces byte-identical span streams on every run — there are
+no wall-clock stamps and no random ids anywhere.
+
+:class:`SpanObserver` subscribes to the :class:`~repro.core.events.EventBus`
+and turns the hook stream into spans:
+
+``txn``
+    one per transaction lifetime (⟨begin, A⟩ → global commit/abort),
+    status ``committed`` / ``aborted:<reason>`` / ``unfinished``;
+``wait``
+    one per blocked stretch in a wait queue (mirrors the
+    :class:`~repro.metrics.collectors.TimelineObserver` interval
+    semantics, including the wait/sleep disjointness rule);
+``sleep``
+    one per disconnection (⟨sleep, A⟩ → ⟨awake, A⟩), status carries the
+    Algorithm 9 verdict;
+``commit``
+    one per commit-pipeline pass (first ⟨commit, X, A⟩ or deferral →
+    global commit);
+``reconcile`` / ``revalidate`` / ``pump`` / ``repolice``
+    zero-width *event spans* marking single protocol episodes, with the
+    episode's numbers in ``attrs``.
+
+Because observers ride the exception-isolated bus and only read
+already-computed hook arguments, recording spans cannot perturb
+scheduling — :mod:`repro.obs.selfcheck` proves the digests agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import GTMObserver
+from repro.core.opclass import OperationClass
+
+#: Enum member -> label string, resolved once.  ``member.value`` goes
+#: through DynamicClassAttribute on every access — far too slow for a
+#: per-reconcile hook.
+_OP_LABEL = {member: member.value for member in OperationClass}
+
+
+@dataclass(slots=True)
+class Span:
+    """One interval (or instant, when ``end == start``) on the run.
+
+    Slotted: an episode can record thousands of spans, so per-span
+    memory and construction cost are part of the neutrality budget.
+    """
+
+    span_id: int
+    name: str
+    #: transaction id or object name the span describes.
+    subject: str
+    start: float
+    end: float | None = None
+    status: str = ""
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def as_record(self) -> dict:
+        """Flat dict for JSONL export (stable key order)."""
+        return {"span_id": self.span_id, "name": self.name,
+                "subject": self.subject, "start": self.start,
+                "end": self.end, "duration": self.duration,
+                "status": self.status, "attrs": dict(self.attrs)}
+
+
+class SpanRecorder:
+    """Owns the span list and the deterministic id sequence."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._next_id = 0
+
+    def begin(self, name: str, subject: str, start: float,
+              **attrs) -> Span:
+        # Positional construction: keyword binding roughly doubles the
+        # dataclass __init__ cost, and spans are made per bus event.
+        span = Span(self._next_id, name, subject, start, None, "", attrs)
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span, end: float, status: str = "ok") -> None:
+        span.end = end
+        span.status = status
+
+    def event(self, name: str, subject: str, now: float,
+              status: str = "ok", **attrs) -> Span:
+        """A zero-width span marking a single protocol episode.
+
+        Built directly rather than via begin()+end(): event spans are
+        the most numerous kind (one per reconcile/revalidate/pump), so
+        one constructor call instead of three method calls matters on
+        the perf smoke profile.
+        """
+        span = Span(self._next_id, name, subject, now, now, status, attrs)
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def open_spans(self) -> tuple[Span, ...]:
+        return tuple(s for s in self.spans if s.end is None)
+
+    def finalize(self, now: float) -> None:
+        """Close every open span at makespan, mirroring
+        :meth:`~repro.metrics.collectors.TxnTimeline.finalize`."""
+        for span in self.spans:
+            if span.end is None:
+                self.end(span, now, status="unfinished")
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class SpanObserver(GTMObserver):
+    """Builds the span tree from the bus hook stream (read-only)."""
+
+    def __init__(self, recorder: SpanRecorder) -> None:
+        self.recorder = recorder
+        self._txn: dict[str, Span] = {}
+        self._wait: dict[str, Span] = {}
+        self._sleep: dict[str, Span] = {}
+        self._commit: dict[str, Span] = {}
+
+    # -- transaction lifetime -----------------------------------------
+
+    def on_begin(self, txn, now):
+        self._txn[txn.txn_id] = self.recorder.begin(
+            "txn", txn.txn_id, now)
+
+    def _close_lifetime(self, txn, now, status):
+        for table, interim in ((self._wait, "interrupted"),
+                               (self._sleep, "interrupted"),
+                               (self._commit, status)):
+            span = table.pop(txn.txn_id, None)
+            if span is not None:
+                self.recorder.end(span, now, interim)
+        span = self._txn.pop(txn.txn_id, None)
+        if span is not None:
+            self.recorder.end(span, now, status)
+
+    def on_global_commit(self, txn, now):
+        self._close_lifetime(txn, now, "committed")
+
+    def on_global_abort(self, txn, now, reason):
+        self._close_lifetime(txn, now, f"aborted:{reason}")
+
+    # -- wait episodes (same disjointness rules as TxnTimeline) -------
+
+    def on_wait(self, txn, obj, invocation, now):
+        if txn.txn_id not in self._wait:
+            self._wait[txn.txn_id] = self.recorder.begin(
+                "wait", txn.txn_id, now, object=obj.name,
+                member=invocation.member)
+
+    def on_grant(self, txn, obj, invocation, now):
+        # Same audit as TimelineObserver.on_grant: only close the wait
+        # when the transaction is no longer queued anywhere (the pump
+        # clears t_wait before granting; a queue-jump regrant does not).
+        if not txn.t_wait:
+            span = self._wait.pop(txn.txn_id, None)
+            if span is not None:
+                self.recorder.end(span, now, "granted")
+
+    # -- sleep episodes -----------------------------------------------
+
+    def on_sleep(self, txn, now):
+        # Wait and sleep are disjoint: sleeping pre-empts waiting.
+        span = self._wait.pop(txn.txn_id, None)
+        if span is not None:
+            self.recorder.end(span, now, "preempted-by-sleep")
+        if txn.txn_id not in self._sleep:
+            self._sleep[txn.txn_id] = self.recorder.begin(
+                "sleep", txn.txn_id, now)
+
+    def on_awake(self, txn, now, survived):
+        span = self._sleep.pop(txn.txn_id, None)
+        if span is not None:
+            self.recorder.end(
+                span, now, "survived" if survived else "sleep-conflict")
+
+    # -- commit-pipeline pass -----------------------------------------
+
+    def _commit_pass(self, txn, obj, now, deferred):
+        span = self._commit.get(txn.txn_id)
+        if span is None:
+            span = self._commit[txn.txn_id] = self.recorder.begin(
+                "commit", txn.txn_id, now, objects=0, deferred=0)
+        span.attrs["objects"] += 1
+        if deferred:
+            span.attrs["deferred"] += 1
+
+    def on_local_commit(self, txn, obj, now):
+        self._commit_pass(txn, obj, now, deferred=False)
+
+    def on_commit_deferred(self, txn, obj, now):
+        self._commit_pass(txn, obj, now, deferred=True)
+
+    # -- protocol-episode event spans ---------------------------------
+
+    def on_reconcile(self, txn, obj, invocation, now):
+        self.recorder.event(
+            "reconcile", obj.name, now, txn=txn.txn_id,
+            op_class=_OP_LABEL[invocation.op_class],
+            member=invocation.member)
+
+    def on_revalidate(self, txn, obj, conflicted, now):
+        self.recorder.event(
+            "revalidate", obj.name, now,
+            status="conflicted" if conflicted else "clear",
+            txn=txn.txn_id)
+
+    def on_pump(self, obj, examined, granted, overtakes, now):
+        self.recorder.event(
+            "pump", obj.name, now, examined=examined,
+            granted=len(granted), overtakes=overtakes)
+
+    def on_repolice(self, obj, refreshed, now):
+        self.recorder.event(
+            "repolice", obj.name, now, refreshed=refreshed)

@@ -94,6 +94,11 @@ class SchedulerResult:
     final_values: dict[str, float] = field(default_factory=dict)
     #: Scheduler-specific counters (deadlocks, SST retries, ...).
     extra: dict[str, float] = field(default_factory=dict)
+    #: Observability artifacts (:class:`repro.obs.Observability`) when
+    #: the run was traced; None otherwise.  Deliberately *excluded*
+    #: from episode traces and digests — enabling observability must
+    #: never change what a run reports about the protocol itself.
+    obs: object | None = field(default=None, repr=False, compare=False)
 
 
 class Scheduler(abc.ABC):
@@ -109,6 +114,9 @@ class Scheduler(abc.ABC):
     def _result(self, collector: MetricsCollector, makespan: float,
                 final_values: dict[str, float],
                 extra: dict[str, float] | None = None) -> SchedulerResult:
+        # Close dangling wait/sleep intervals of unfinished transactions
+        # at makespan so RunStats and traces see their accrued time.
+        collector.finalize(makespan)
         return SchedulerResult(
             scheduler=self.name,
             stats=summarize(collector, makespan=makespan),

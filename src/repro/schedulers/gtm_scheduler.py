@@ -41,6 +41,7 @@ from repro.core.sst import SSTExecutor
 from repro.core.states import TransactionState
 from repro.core.transaction import GTMTransaction
 from repro.metrics.collectors import MetricsCollector, TimelineObserver
+from repro.obs import build_observability
 from repro.schedulers.base import (
     CommitAction,
     InvokeAction,
@@ -67,6 +68,11 @@ class GTMSchedulerConfig:
     sst_executor: SSTExecutor | None = None
     #: Bindings applied to created objects (object name -> binding).
     bindings: dict[str, ObjectBinding] = field(default_factory=dict)
+    #: Observability: an :class:`~repro.obs.ObsConfig`, ``True`` for
+    #: everything on, or ``None``/``False`` for off.  Recording rides
+    #: the event bus read-only, so enabling it cannot change grant
+    #: order or digests (``python -m repro.obs.selfcheck`` proves it).
+    obs: Any = None
 
 
 class _SignallingObserver(GTMObserver):
@@ -128,6 +134,9 @@ class GTMScheduler(Scheduler):
             observer=observer,
         )
         gtm.subscribe(TimelineObserver(collector))
+        obs = build_observability(self.config.obs)
+        if obs is not None:
+            obs.attach(gtm)
         for name, value in workload.initial_values.items():
             gtm.create_object(name, value=value,
                               binding=self.config.bindings.get(name))
@@ -150,7 +159,12 @@ class GTMScheduler(Scheduler):
                              if self.config.sst_executor else 0),
             "events_dispatched": engine.events_dispatched,
         }
-        return self._result(collector, makespan, final_values, extra)
+        result = self._result(collector, makespan, final_values, extra)
+        if obs is not None:
+            obs.finalize(makespan)
+            obs.snapshot_lock_table(gtm.lock_table)
+            result.obs = obs
+        return result
 
     # -- the client process ------------------------------------------------------
 

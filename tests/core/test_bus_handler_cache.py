@@ -1,0 +1,103 @@
+"""EventBus per-hook handler lists: skip-no-op dispatch and its cache.
+
+The bus dispatches each hook through a prebuilt list of bound methods,
+leaving out observers that inherit the hook's no-op from
+:class:`GTMObserver`.  These tests pin the cache semantics the perf
+work relies on: class overrides are detected per class, instance-level
+callables still dispatch, shadowed hooks are not double-added, and
+unsubscribe rebuilds the lists.
+"""
+
+from repro.core.events import EventBus, GTMObserver, _overridden_hooks
+
+
+class BeginOnly(GTMObserver):
+    def __init__(self):
+        self.begins = []
+
+    def on_begin(self, txn, now):
+        self.begins.append((txn, now))
+
+
+class GrantOnly(GTMObserver):
+    def __init__(self):
+        self.grants = 0
+
+    def on_grant(self, txn, obj, invocation, now):
+        self.grants += 1
+
+
+class TestHandlerLists:
+    def test_noop_hooks_have_no_handlers(self):
+        bus = EventBus([BeginOnly()])
+        assert len(bus._h_on_begin) == 1
+        assert bus._h_on_grant == []
+        assert bus._h_on_pump == []
+
+    def test_dispatch_reaches_only_overriders(self):
+        begin, grant = BeginOnly(), GrantOnly()
+        bus = EventBus([begin, grant])
+        bus.on_begin("T1", 1.0)
+        bus.on_grant("T1", None, None, 2.0)
+        assert begin.begins == [("T1", 1.0)]
+        assert grant.grants == 1
+
+    def test_override_cache_is_per_class(self):
+        assert _overridden_hooks(BeginOnly) == ("on_begin",)
+        assert _overridden_hooks(BeginOnly) is _overridden_hooks(BeginOnly)
+        assert _overridden_hooks(GTMObserver) == ()
+
+    def test_instance_attr_handler_dispatches(self):
+        observer = GTMObserver()
+        seen = []
+        observer.on_begin = lambda txn, now: seen.append(txn)
+        bus = EventBus([observer])
+        bus.on_begin("T1", 0.0)
+        assert seen == ["T1"]
+
+    def test_instance_shadowing_class_override_added_once(self):
+        observer = BeginOnly()
+        seen = []
+        observer.on_begin = lambda txn, now: seen.append(txn)
+        bus = EventBus([observer])
+        bus.on_begin("T1", 0.0)
+        # the instance attribute wins and dispatches exactly once
+        assert seen == ["T1"]
+        assert observer.begins == []
+        assert len(bus._h_on_begin) == 1
+
+    def test_unsubscribe_rebuilds_lists(self):
+        first, second = BeginOnly(), BeginOnly()
+        bus = EventBus([first, second])
+        assert len(bus._h_on_begin) == 2
+        bus.unsubscribe(first)
+        bus.on_begin("T1", 0.0)
+        assert first.begins == []
+        assert second.begins == [("T1", 0.0)]
+        assert bus.observers() == (second,)
+
+    def test_subscription_order_preserved_in_dispatch(self):
+        order = []
+
+        class Tagged(GTMObserver):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_begin(self, txn, now):
+                order.append(self.tag)
+
+        bus = EventBus([Tagged("a"), Tagged("b"), Tagged("c")])
+        bus.on_begin("T", 0.0)
+        assert order == ["a", "b", "c"]
+
+    def test_raising_instance_handler_recorded(self):
+        observer = GTMObserver()
+
+        def explode(txn, now):
+            raise ValueError("boom")
+
+        observer.on_begin = explode
+        bus = EventBus([observer])
+        bus.on_begin("T", 0.0)
+        assert len(bus.errors) == 1
+        assert bus.errors[0].hook == "on_begin"

@@ -1,0 +1,154 @@
+"""Exporters: JSONL spans, episode traces, frames and their merge."""
+
+import json
+
+from repro.check.fuzzer import FuzzConfig, episode_workload, generate_episode
+from repro.check.runner import build_scheduler
+from repro.metrics.collectors import MetricsCollector
+from repro.metrics.trace import episode_trace
+from repro.obs import ObsConfig
+from repro.obs.export import (
+    ObsFrame,
+    frame_from_collector,
+    merge_frames,
+    observed_episode_trace,
+    render_frame_summary,
+    render_metrics_summary,
+    spans_jsonl,
+    write_spans_jsonl,
+)
+from repro.obs.spans import SpanRecorder
+
+FULL = ObsConfig(tracing=True, metrics=True)
+
+
+def observed_result(seed=2008, index=0):
+    spec = generate_episode(FuzzConfig(scheduler="gtm"), seed, index)
+    scheduler = build_scheduler(spec, observe=FULL)
+    return scheduler.run(episode_workload(spec))
+
+
+class TestSpansJsonl:
+    def test_one_record_per_line(self):
+        recorder = SpanRecorder()
+        recorder.event("pump", "X", 1.0, examined=2)
+        span = recorder.begin("txn", "T1", 0.0)
+        recorder.end(span, 3.0, "committed")
+        lines = spans_jsonl(recorder).splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert records[0]["name"] == "pump"
+        assert records[1]["status"] == "committed"
+        assert records[1]["duration"] == 3.0
+
+    def test_write_jsonl_file(self, tmp_path):
+        recorder = SpanRecorder()
+        recorder.event("pump", "X", 1.0)
+        target = write_spans_jsonl(tmp_path / "out" / "spans.jsonl",
+                                   recorder)
+        content = target.read_text(encoding="utf-8")
+        assert content.endswith("\n")
+        assert json.loads(content.splitlines()[0])["subject"] == "X"
+
+    def test_empty_recorder_writes_empty_file(self, tmp_path):
+        target = write_spans_jsonl(tmp_path / "spans.jsonl",
+                                   SpanRecorder())
+        assert target.read_text(encoding="utf-8") == ""
+
+
+class TestObservedEpisodeTrace:
+    def test_superset_of_plain_trace(self):
+        result = observed_result()
+        plain = episode_trace(result)
+        observed = observed_episode_trace(result)
+        for key, value in plain.items():
+            assert observed[key] == value
+        assert isinstance(observed["spans"], list)
+        assert observed["spans"], "traced run should have spans"
+        assert observed["metrics"], "traced run should have metrics"
+
+    def test_unobserved_run_has_empty_obs_keys(self):
+        spec = generate_episode(FuzzConfig(scheduler="gtm"), 2008, 0)
+        result = build_scheduler(spec, observe=False) \
+            .run(episode_workload(spec))
+        observed = observed_episode_trace(result)
+        assert observed["spans"] == []
+        assert observed["metrics"] == {}
+
+
+def frame(commits, spans=0):
+    return ObsFrame(
+        episodes=1,
+        metrics={"gtm_commits": {"kind": "counter",
+                                 "series": {"": float(commits)}}},
+        span_count=spans,
+        schedulers={"gtm": 1})
+
+
+class TestFrames:
+    def test_counter_total(self):
+        assert frame(3).counter_total("gtm_commits") == 3.0
+        assert frame(3).counter_total("missing") == 0.0
+
+    def test_merge_adds_everything(self):
+        merged = merge_frames([frame(2, spans=5), frame(3, spans=7)])
+        assert merged.episodes == 2
+        assert merged.span_count == 12
+        assert merged.counter_total("gtm_commits") == 5.0
+        assert merged.schedulers == {"gtm": 2}
+
+    def test_merge_skips_none(self):
+        merged = merge_frames([frame(2), None, frame(1)])
+        assert merged.episodes == 2
+        assert merged.counter_total("gtm_commits") == 3.0
+
+    def test_merge_does_not_mutate_inputs(self):
+        first = frame(2)
+        merge_frames([first, frame(3)])
+        assert first.counter_total("gtm_commits") == 2.0
+
+    def test_episode_order_merge_is_deterministic(self):
+        frames = [frame(i, spans=i) for i in range(5)]
+        a = merge_frames(frames)
+        b = merge_frames(frames)
+        assert a == b
+
+    def test_frame_from_collector(self):
+        collector = MetricsCollector()
+        done = collector.arrival("A", 0.0)
+        done.on_wait_start(1.0)
+        done.on_wait_end(3.0)
+        done.on_commit(4.0)
+        collector.arrival("B", 0.0).on_abort(2.0, reason="deadlock")
+        built = frame_from_collector(collector, "2pl")
+        assert built.counter_total("gtm_commits") == 1.0
+        assert built.metrics["gtm_aborts"]["series"] == {"deadlock": 1.0}
+        assert built.metrics["gtm_wait_seconds_total"]["series"][""] == 2.0
+        assert built.schedulers == {"2pl": 1}
+
+
+class TestRendering:
+    def test_metrics_summary_lists_each_series(self):
+        metrics = {
+            "gtm_commits": {"kind": "counter", "series": {"": 4.0}},
+            "gtm_aborts": {"kind": "counter",
+                           "series": {"deadlock": 1.0}},
+            "gtm_wait_seconds": {"kind": "histogram",
+                                 "buckets": [1.0], "counts": [1, 0],
+                                 "sum": 0.5, "count": 1,
+                                 "min": 0.5, "max": 0.5},
+        }
+        text = render_metrics_summary(metrics)
+        assert "gtm_commits" in text
+        assert "gtm_aborts{deadlock}" in text
+        assert "n=1" in text
+
+    def test_empty_metrics_summary(self):
+        assert "no metrics" in render_metrics_summary({})
+
+    def test_frame_summary_header(self):
+        text = render_frame_summary(merge_frames([frame(2, spans=9),
+                                                  frame(1)]))
+        assert "2 episodes" in text
+        assert "9 spans" in text
+        assert "gtm:2" in text

@@ -1,0 +1,70 @@
+"""Digest neutrality on small campaigns (the CI job runs the big one).
+
+``python -m repro.obs.selfcheck`` proves neutrality at campaign scale;
+these tests keep a fast in-suite version so a regression is caught by
+plain ``pytest`` too, for both observability modes:
+
+- the always-on default (``observe=True`` -> metrics only);
+- the full stack (``ObsConfig(tracing=True, metrics=True)``).
+"""
+
+from repro.check.fuzzer import FuzzConfig
+from repro.check.runner import OBSERVE_DEFAULT, run_campaign
+from repro.obs import ObsConfig
+from repro.obs.selfcheck import (
+    check_campaign_neutrality,
+    check_differential_neutrality,
+)
+
+EPISODES = 6
+FULL = ObsConfig(tracing=True, metrics=True)
+
+
+def test_default_mode_is_metrics_only():
+    assert OBSERVE_DEFAULT.metrics is True
+    assert OBSERVE_DEFAULT.tracing is False
+
+
+def test_campaign_digest_neutral_metrics_mode():
+    ok, evidence = check_campaign_neutrality(
+        "gtm", seed=2008, episodes=EPISODES, jobs=1, mode=True)
+    assert ok, evidence
+
+
+def test_campaign_digest_neutral_full_tracing():
+    ok, evidence = check_campaign_neutrality(
+        "gtm", seed=2008, episodes=EPISODES, jobs=1, mode=FULL)
+    assert ok, evidence
+
+
+def test_differential_digest_neutral():
+    ok, evidence = check_differential_neutrality(
+        seed=2008, episodes=EPISODES, jobs=1)
+    assert ok, evidence
+
+
+def test_observed_campaign_carries_merged_frame():
+    report = run_campaign(FuzzConfig(scheduler="gtm"), 2008, EPISODES,
+                          shrink_failures=False, observe=True)
+    frame = report.metrics
+    assert frame is not None
+    assert frame.episodes == EPISODES
+    assert frame.span_count == 0  # default mode records no spans
+    assert frame.counter_total("gtm_commits") > 0
+
+
+def test_traced_campaign_counts_spans():
+    report = run_campaign(FuzzConfig(scheduler="gtm"), 2008, EPISODES,
+                          shrink_failures=False, observe=FULL)
+    assert report.metrics is not None
+    assert report.metrics.span_count > 0
+
+
+def test_jobs_merge_matches_serial():
+    serial = run_campaign(FuzzConfig(scheduler="gtm"), 2008, EPISODES,
+                          shrink_failures=False, observe=True)
+    sharded = run_campaign(FuzzConfig(scheduler="gtm"), 2008, EPISODES,
+                           shrink_failures=False, observe=True, jobs=2)
+    assert serial.digest == sharded.digest
+    assert serial.metrics.metrics == sharded.metrics.metrics
+    assert serial.metrics.episodes == sharded.metrics.episodes

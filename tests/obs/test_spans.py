@@ -1,0 +1,158 @@
+"""Span recorder mechanics and the bus-driven SpanObserver."""
+
+from repro.core.gtm import GlobalTransactionManager
+from repro.core.opclass import add, assign
+from repro.obs.spans import SpanObserver, SpanRecorder
+
+
+class TestSpanRecorder:
+    def test_ids_are_sequential(self):
+        recorder = SpanRecorder()
+        spans = [recorder.begin("a", "s", 0.0),
+                 recorder.event("b", "s", 1.0),
+                 recorder.begin("c", "s", 2.0)]
+        assert [span.span_id for span in spans] == [0, 1, 2]
+
+    def test_begin_end_interval(self):
+        recorder = SpanRecorder()
+        span = recorder.begin("wait", "T1", 1.0, object="X")
+        assert span.end is None
+        assert span.duration == 0.0
+        recorder.end(span, 4.0, "granted")
+        assert span.duration == 3.0
+        assert span.status == "granted"
+        assert span.attrs == {"object": "X"}
+
+    def test_event_is_zero_width(self):
+        recorder = SpanRecorder()
+        span = recorder.event("pump", "X", 2.0, examined=3)
+        assert span.start == span.end == 2.0
+        assert span.duration == 0.0
+        assert span.status == "ok"
+
+    def test_open_spans_and_finalize(self):
+        recorder = SpanRecorder()
+        open_span = recorder.begin("txn", "T1", 0.0)
+        closed = recorder.begin("txn", "T2", 0.0)
+        recorder.end(closed, 1.0)
+        assert recorder.open_spans() == (open_span,)
+        recorder.finalize(9.0)
+        assert open_span.end == 9.0
+        assert open_span.status == "unfinished"
+        assert closed.end == 1.0  # untouched
+        assert recorder.open_spans() == ()
+
+    def test_as_record_round_trips(self):
+        recorder = SpanRecorder()
+        span = recorder.event("reconcile", "X", 3.0, txn="T1")
+        record = span.as_record()
+        assert record["span_id"] == 0
+        assert record["subject"] == "X"
+        assert record["duration"] == 0.0
+        assert record["attrs"] == {"txn": "T1"}
+
+
+class ManualClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> float:
+        self.now += dt
+        return self.now
+
+
+def traced_gtm():
+    clock = ManualClock()
+    gtm = GlobalTransactionManager(clock=clock)
+    recorder = SpanRecorder()
+    gtm.subscribe(SpanObserver(recorder))
+    gtm.create_object("X", value=100)
+    return gtm, recorder, clock
+
+
+def spans_named(recorder, name):
+    return [span for span in recorder.spans if span.name == name]
+
+
+class TestBusDrivenSpans:
+    def test_txn_lifetime_span(self):
+        gtm, recorder, clock = traced_gtm()
+        gtm.begin("T1")
+        gtm.invoke("T1", "X", add(5))
+        gtm.apply("T1", "X", add(5))
+        clock.advance(2.0)
+        gtm.request_commit("T1")
+        gtm.pump_commits()
+        (txn_span,) = spans_named(recorder, "txn")
+        assert txn_span.subject == "T1"
+        assert txn_span.start == 0.0
+        assert txn_span.end == 2.0
+        assert txn_span.status == "committed"
+
+    def test_wait_span_covers_queue_to_grant(self):
+        gtm, recorder, clock = traced_gtm()
+        gtm.begin("T1")
+        assert gtm.invoke("T1", "X", assign(1)) == "granted"
+        gtm.begin("T2")
+        clock.advance(1.0)
+        assert gtm.invoke("T2", "X", assign(2)) == "queued"
+        clock.advance(3.0)
+        gtm.apply("T1", "X", assign(1))
+        gtm.request_commit("T1")
+        gtm.pump_commits()
+        (wait_span,) = spans_named(recorder, "wait")
+        assert wait_span.subject == "T2"
+        assert (wait_span.start, wait_span.end) == (1.0, 4.0)
+        assert wait_span.status == "granted"
+        assert wait_span.attrs["object"] == "X"
+
+    def test_abort_status_carries_reason(self):
+        gtm, recorder, clock = traced_gtm()
+        gtm.begin("T1")
+        gtm.invoke("T1", "X", assign(1))
+        gtm.abort("T1", reason="driver-disconnect")
+        (txn_span,) = spans_named(recorder, "txn")
+        assert txn_span.status == "aborted:driver-disconnect"
+
+    def test_sleep_preempts_wait(self):
+        gtm, recorder, clock = traced_gtm()
+        gtm.begin("T1")
+        assert gtm.invoke("T1", "X", assign(1)) == "granted"
+        gtm.begin("T2")
+        clock.advance(1.0)
+        assert gtm.invoke("T2", "X", assign(2)) == "queued"
+        clock.advance(1.0)
+        gtm.sleep("T2")
+        clock.advance(5.0)
+        gtm.awake("T2")
+        (wait_span,) = spans_named(recorder, "wait")
+        assert wait_span.status == "preempted-by-sleep"
+        assert wait_span.end == 2.0
+        (sleep_span,) = spans_named(recorder, "sleep")
+        assert (sleep_span.start, sleep_span.end) == (2.0, 7.0)
+        assert sleep_span.status in ("survived", "sleep-conflict")
+
+    def test_reconcile_event_span_labels_op_class(self):
+        gtm, recorder, clock = traced_gtm()
+        gtm.begin("T1")
+        gtm.invoke("T1", "X", add(5))
+        gtm.apply("T1", "X", add(5))
+        gtm.request_commit("T1")
+        gtm.pump_commits()
+        (reconcile,) = spans_named(recorder, "reconcile")
+        assert reconcile.subject == "X"
+        assert reconcile.attrs["txn"] == "T1"
+        assert reconcile.attrs["op_class"] == "update-addsub"
+
+    def test_unfinished_txn_closed_by_finalize(self):
+        gtm, recorder, clock = traced_gtm()
+        gtm.begin("T1")
+        gtm.invoke("T1", "X", add(1))
+        clock.advance(4.0)
+        recorder.finalize(clock.now)
+        (txn_span,) = spans_named(recorder, "txn")
+        assert txn_span.end == 4.0
+        assert txn_span.status == "unfinished"
