@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro.errors import GTMError, ProtocolError
+from repro.driver.clock import Clock
 from repro.core.admission import (
     AdmissionController,
     GrantOutcome,
@@ -89,13 +90,19 @@ class GlobalTransactionManager:
     """The paper's middleware: pre-serialization over virtual data."""
 
     def __init__(self, config: GTMConfig | None = None,
-                 clock: Callable[[], float] | None = None,
+                 clock: "Callable[[], float] | Clock | None" = None,
                  sst_executor: SSTExecutor | None = None,
                  observer: GTMObserver | None = None) -> None:
         self.config = config or GTMConfig()
         # Definition 1 condition 3: a class that commutes with itself
         # must have a reconciler — catch misconfiguration at startup.
         self.config.registry.validate_against(self.config.matrix)
+        # The clock seam accepts either a zero-argument callable (the
+        # historical contract, what the sim schedulers pass) or any
+        # repro.driver Clock object (what the live service passes).
+        if clock is not None and not callable(clock):
+            clock_obj = clock
+            clock = lambda: clock_obj.now  # noqa: E731
         self._external_clock = clock
         self._logical_time = itertools.count(1)
         self.sst_executor = sst_executor

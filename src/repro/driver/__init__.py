@@ -1,0 +1,29 @@
+"""Clock and driver seam: who advances time, and who runs callbacks.
+
+The GTM core is deliberately ignorant of *how* time passes.  Every
+subsystem reads time through a zero-argument callable (or a
+:class:`Clock`) and schedules future work through a :class:`Driver` —
+an object with ``schedule_at`` / ``schedule_after`` returning
+cancellable handles.  Two drivers implement the seam:
+
+- the discrete-event :class:`~repro.sim.engine.SimulationEngine`
+  (virtual time, deterministic, the reproduction/fuzzing substrate) —
+  it *is* a driver, no adapter involved, so the refactor is
+  byte-identical to the pre-seam code paths;
+- the wall-clock :class:`~repro.driver.asyncio_driver.AsyncioDriver`
+  (monotonic time over a running asyncio event loop, the live-service
+  substrate under :mod:`repro.service`).
+
+See ``docs/SERVICE.md`` for the architecture diagram.
+"""
+
+from repro.driver.base import Driver, TimerHandle
+from repro.driver.clock import Clock, VirtualClock, WallClock
+
+__all__ = [
+    "Clock",
+    "Driver",
+    "TimerHandle",
+    "VirtualClock",
+    "WallClock",
+]

@@ -1,0 +1,56 @@
+"""The driver contract: a clock plus a scheduler of callbacks.
+
+A *driver* owns time and runs deferred work.  The GTM core and the
+service layer never import a concrete driver; they program against this
+structural protocol, which both the discrete-event
+:class:`~repro.sim.engine.SimulationEngine` and the wall-clock
+:class:`~repro.driver.asyncio_driver.AsyncioDriver` satisfy:
+
+- ``driver.now`` — current time (virtual or wall seconds);
+- ``driver.clock`` — the underlying :class:`~repro.driver.clock.Clock`;
+- ``driver.schedule_at(when, cb)`` / ``driver.schedule_after(delay, cb)``
+  — run ``cb(driver)`` at/after the given time, returning a
+  :class:`TimerHandle` whose ``cancel()`` is O(1) and idempotent.
+
+Callbacks always receive the driver, so timer code is portable between
+substrates (a BTO timeout written once runs under the simulator in
+tests and under asyncio in production).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+from repro.driver.clock import Clock
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """A cancellable scheduled callback."""
+
+    def cancel(self) -> bool:
+        """Cancel the callback.  Returns False if it already ran."""
+        ...
+
+    @property
+    def alive(self) -> bool:
+        """True while the callback is pending (not cancelled, not run)."""
+        ...
+
+
+@runtime_checkable
+class Driver(Protocol):
+    """A clock plus a scheduler-of-callbacks (the GTM's substrate)."""
+
+    clock: Clock
+
+    @property
+    def now(self) -> float: ...
+
+    def schedule_at(self, when: float,
+                    callback: Callable[["Driver"], Any], *,
+                    priority: int = 0, label: str = "") -> TimerHandle: ...
+
+    def schedule_after(self, delay: float,
+                       callback: Callable[["Driver"], Any], *,
+                       priority: int = 0, label: str = "") -> TimerHandle: ...

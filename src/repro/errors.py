@@ -167,6 +167,53 @@ class SSTFailure(GTMError):
         super().__init__(message)
 
 
+class SessionError(GTMError):
+    """Base class for wire-service session-protocol errors.
+
+    Session failures live under :class:`GTMError` deliberately: the
+    wire protocol maps *every* failure — core protocol violations and
+    session-layer ones alike — onto one error-frame taxonomy (one
+    exception class, one frame code; see
+    :mod:`repro.service.protocol`).
+    """
+
+
+class UnknownToken(SessionError):
+    """A reconnect presented a session token the server never issued."""
+
+    def __init__(self, token: str) -> None:
+        self.token = token
+        super().__init__(f"unknown session token {token!r}")
+
+
+class TokenInUse(SessionError):
+    """A second connection presented a token with a live connection."""
+
+    def __init__(self, token: str) -> None:
+        self.token = token
+        super().__init__(
+            f"session token {token!r} already has a live connection")
+
+
+class SessionExpired(SessionError):
+    """A reconnect arrived after the BTO timeout aborted the session.
+
+    Carries the transactions the timeout aborted so the reconnecting
+    client learns which work it lost.
+    """
+
+    def __init__(self, token: str, aborted: tuple[str, ...] = ()) -> None:
+        self.token = token
+        self.aborted = tuple(aborted)
+        detail = f"; aborted: {', '.join(aborted)}" if aborted else ""
+        super().__init__(
+            f"session {token!r} expired after BTO timeout{detail}")
+
+
+class WireFormatError(GTMError):
+    """A frame could not be parsed or failed wire-schema validation."""
+
+
 # ---------------------------------------------------------------------------
 # Workload / bench harness
 # ---------------------------------------------------------------------------

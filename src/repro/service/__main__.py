@@ -1,0 +1,60 @@
+"""Run the GTM service on TCP: ``python -m repro.service``.
+
+Serves one :class:`~repro.core.gtm.GlobalTransactionManager` over the
+newline-delimited JSON protocol until interrupted (SIGINT performs the
+graceful shutdown: a ``shutdown`` push to every connected client,
+aborts for unfinished transactions, outbox flush).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import sys
+
+from repro.driver.asyncio_driver import AsyncioDriver
+from repro.service.core import GTMService, ServiceConfig
+from repro.service.server import ServiceServer
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    driver = AsyncioDriver()
+    service = GTMService(driver, config=ServiceConfig(
+        bto_timeout=args.bto_timeout))
+    for index in range(args.objects):
+        service.create_object(f"o{index:05d}", value=args.initial_value)
+    server = ServiceServer(service)
+    host, port = await server.start_tcp(args.host, args.port)
+    print(f"gtm service listening on {host}:{port} "
+          f"({args.objects} objects, bto={args.bto_timeout}s)",
+          flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_event_loop()
+    with contextlib.suppress(NotImplementedError):
+        import signal
+        loop.add_signal_handler(signal.SIGINT, stop.set)
+        loop.add_signal_handler(signal.SIGTERM, stop.set)
+    await stop.wait()
+    print("shutting down...", flush=True)
+    await server.shutdown()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve the GTM over newline-delimited JSON/TCP.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7400)
+    parser.add_argument("--objects", type=int, default=64,
+                        help="managed objects to pre-create")
+    parser.add_argument("--initial-value", type=int, default=1)
+    parser.add_argument("--bto-timeout", type=float, default=60.0,
+                        help="seconds a disconnected session may sleep")
+    args = parser.parse_args(argv)
+    return asyncio.run(_serve(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

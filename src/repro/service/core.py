@@ -1,0 +1,523 @@
+""":class:`GTMService` — the transport-agnostic frame handler.
+
+This is the live-service counterpart of the discrete-event schedulers:
+where :mod:`repro.schedulers.gtm_scheduler` drives the GTM from
+simulated client processes, the service drives the *same*
+:class:`~repro.core.gtm.GlobalTransactionManager` from wire frames.
+It is deliberately synchronous and transport-free — the asyncio server
+(:mod:`repro.service.server`) feeds it decoded frames, and the session
+state-machine tests feed it frames under a
+:class:`~repro.sim.engine.SimulationEngine` driver, where BTO timers
+fire at exact virtual instants.
+
+Delivery model: every outbound frame — direct replies and server
+pushes alike — goes through the session's *sink* (one ordered stream
+per session).  A detached session has no sink; pushes for it are
+dropped, because the paper's ⟨sleep⟩ carries **state**, not messages,
+across the outage: the client learns what happened from the ⟨awake⟩
+revalidation when it returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import (
+    GTMError,
+    ProtocolError,
+    ReproError,
+    SessionError,
+    WireFormatError,
+)
+from repro.core.events import GTMObserver
+from repro.core.gtm import GlobalTransactionManager, GrantOutcome
+from repro.core.opclass import OperationClass
+from repro.core.states import TransactionState
+from repro.obs.registry import MetricsRegistry
+from repro.service.protocol import build_invocation, error_frame
+from repro.service.session import Session, SessionState, SessionStore
+
+_TS = TransactionState
+
+
+@dataclass
+class ServiceConfig:
+    """Service-layer tunables (the protocol knobs live in GTMConfig)."""
+
+    #: Seconds a detached session may stay away before its sleeping
+    #: transactions are aborted (the paper's bounded time-out for
+    #: sleepers).  None disarms the timer: sleepers wait forever.
+    bto_timeout: float | None = 60.0
+    #: Per-session outbox bound (frames).  A client that stops reading
+    #: past this is forcibly detached — backpressure by disconnection,
+    #: which the protocol already models as ⟨sleep⟩.
+    max_outbox: int = 1024
+    #: Create unknown objects on first reference (value 0).  Off, an
+    #: op on an unknown object is an error frame.
+    auto_create_objects: bool = True
+    #: Drop terminal transactions from the GTM's registry once their
+    #: outcome is delivered (keeps a long-lived service's memory flat;
+    #: the operation log — what the oracle replays — is untouched).
+    retire_finished: bool = False
+
+
+class _ServiceObserver(GTMObserver):
+    """Bus tap: async grants and transaction outcomes become pushes."""
+
+    def __init__(self, service: "GTMService") -> None:
+        self._service = service
+
+    def on_grant(self, txn, obj, invocation, now):
+        self._service._on_grant_hook(txn, obj, invocation)
+
+    def on_global_commit(self, txn, now):
+        self._service._on_finished(txn.txn_id, "committed", "")
+
+    def on_global_abort(self, txn, now, reason):
+        self._service._on_finished(txn.txn_id, "aborted", reason)
+
+
+class GTMService:
+    """Applies wire frames to a GTM under a driver (sim or asyncio)."""
+
+    def __init__(self, driver: Any,
+                 gtm: GlobalTransactionManager | None = None,
+                 config: ServiceConfig | None = None) -> None:
+        self.driver = driver
+        self.config = config or ServiceConfig()
+        self.gtm = gtm or GlobalTransactionManager(clock=driver.clock)
+        self.gtm.subscribe(_ServiceObserver(self))
+        self.sessions = SessionStore()
+        self.metrics = MetricsRegistry()
+        #: txn id -> owning session.
+        self._txn_session: dict[str, Session] = {}
+        #: txn id -> {(object, member): FIFO of request ids} for
+        #: queued ops (a list, so repeat ops on one member both get
+        #: their late grant pushed).
+        self._pending_ops: dict[str, dict[tuple[str, str], list[Any]]] = {}
+        #: transactions whose ⟨commit, A⟩ is deferred behind another
+        #: committer; completed via try_finish_commit in :meth:`_pump`
+        #: (never the O(all-transactions) pump_commits scan).
+        self._pending_commits: set[str] = set()
+        #: txn id whose direct reply is being produced right now; its
+        #: own outcome push is suppressed (the reply covers it).
+        self._responding_txn: str | None = None
+        #: finished txn ids awaiting retirement (config.retire_finished).
+        self._retire: list[str] = []
+        self._shutting_down = False
+
+    # ------------------------------------------------------------------
+    # setup helpers (server-side, not wire-reachable)
+    # ------------------------------------------------------------------
+
+    def create_object(self, name: str, value: Any = 0,
+                      members: dict[str, Any] | None = None) -> None:
+        """Register a managed object before (or while) serving."""
+        self.gtm.create_object(name, value=value, members=members)
+
+    def _ensure_object(self, name: Any, op_class: OperationClass) -> str:
+        if not isinstance(name, str) or not name:
+            raise WireFormatError(f"op object must be a string: {name!r}")
+        if name not in self.gtm.lock_table:
+            if not self.config.auto_create_objects:
+                raise GTMError(f"unknown object {name!r}")
+            # INSERT expects a shell it can bring into existence.
+            exists = op_class is not OperationClass.INSERT
+            self.gtm.create_object(name, value=0, exists=exists)
+        return name
+
+    # ------------------------------------------------------------------
+    # connection lifecycle
+    # ------------------------------------------------------------------
+
+    def connect(self, frame: dict[str, Any],
+                sink) -> Session | None:
+        """A transport presented its ``hello``.  Returns the attached
+        session, or None when the hello was rejected (the reject error
+        frame has already been written to ``sink``)."""
+        fid = frame.get("id")
+        if frame.get("type") != "hello":
+            sink(error_frame(
+                WireFormatError("first frame must be 'hello'"), re=fid))
+            return None
+        if self._shutting_down:
+            sink(error_frame(
+                SessionError("server is shutting down"), re=fid))
+            return None
+        token = frame.get("token")
+        try:
+            if token is None:
+                session = self.sessions.create()
+                resumed = False
+            else:
+                if not isinstance(token, str):
+                    raise WireFormatError(
+                        f"token must be a string: {token!r}")
+                session = self.sessions.resume(token)
+                resumed = True
+        except ReproError as exc:
+            self.metrics.counter("service_hello_rejected").inc()
+            sink(error_frame(exc, re=fid))
+            return None
+
+        if session.bto_timer is not None:
+            session.bto_timer.cancel()
+            session.bto_timer = None
+
+        # Buffer pushes produced by the ⟨awake⟩ revalidation (queue-jump
+        # regrants) so the welcome frame stays first on the stream.
+        buffered: list[dict[str, Any]] = []
+        session.sink = buffered.append
+        awake_results = []
+        if resumed:
+            awake_results = self._awake_all(session)
+        welcome: dict[str, Any] = {
+            "type": "welcome", "token": session.token,
+            "resumed": resumed,
+        }
+        if fid is not None:
+            welcome["re"] = fid
+        if resumed:
+            welcome["awake"] = awake_results
+            # Outcomes that landed while the client was unreachable.
+            welcome["finished"] = dict(sorted(session.finished.items()))
+            session.finished.clear()
+        session.sink = sink
+        sink(welcome)
+        for pushed in buffered:
+            sink(pushed)
+        self.metrics.counter("service_connects").inc()
+        if resumed:
+            self.metrics.counter("service_resumes").inc()
+        self._pump()
+        return session
+
+    def disconnect(self, session: Session) -> None:
+        """The transport dropped without ``bye``: ⟨sleep⟩ + BTO timer."""
+        if session.state is not SessionState.CONNECTED:
+            return
+        self.sessions.detach(session)
+        for txn_id in sorted(session.txns):
+            txn = self.gtm.transactions.get(txn_id)
+            if txn is not None and txn.is_in(_TS.ACTIVE, _TS.WAITING):
+                self.gtm.sleep(txn_id)
+        if self.config.bto_timeout is not None:
+            session.bto_timer = self.driver.schedule_after(
+                self.config.bto_timeout,
+                lambda _driver, s=session: self._bto_fire(s),
+                label=f"bto:{session.token}")
+        self.metrics.counter("service_disconnects").inc()
+        self._pump()
+
+    def _bto_fire(self, session: Session) -> None:
+        """The detached session overstayed: abort its sleepers."""
+        if session.state is not SessionState.DETACHED:
+            return
+        aborted: list[str] = []
+        for txn_id in sorted(session.txns):
+            txn = self.gtm.transactions.get(txn_id)
+            if txn is not None and txn.is_in(_TS.SLEEPING):
+                self.gtm.abort(txn_id, reason="bto-timeout")
+                aborted.append(txn_id)
+        self.sessions.expire(session, tuple(aborted))
+        self.metrics.counter("service_bto_expiries").inc()
+        self.metrics.counter("service_bto_aborts").inc(len(aborted))
+        self._pump()
+
+    def shutdown(self) -> None:
+        """Graceful stop: notify clients, abort unfinished work, pump."""
+        self._shutting_down = True
+        for session in list(self.sessions.values()):
+            if session.bto_timer is not None:
+                session.bto_timer.cancel()
+                session.bto_timer = None
+            if session.connected:
+                session.send({"type": "shutdown"})
+        for txn_id in sorted(self._txn_session):
+            txn = self.gtm.transactions.get(txn_id)
+            if txn is None or txn.state.terminal:
+                continue
+            if txn.is_in(_TS.COMMITTING):
+                continue  # let the pump finish staged commits
+            self.gtm.abort(txn_id, reason="shutdown")
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # frame dispatch
+    # ------------------------------------------------------------------
+
+    def handle(self, session: Session, frame: dict[str, Any]) -> None:
+        """Apply one decoded client frame; replies go to the sink."""
+        fid = frame.get("id")
+        self.metrics.counter("service_frames").inc()
+        try:
+            frame_type = frame.get("type")
+            if frame_type == "ping":
+                self._reply(session, {"type": "pong"}, fid)
+            elif frame_type == "begin":
+                self._handle_begin(session, frame, fid)
+            elif frame_type == "op":
+                self._handle_op(session, frame, fid)
+            elif frame_type == "commit":
+                self._handle_commit(session, frame, fid)
+            elif frame_type == "abort":
+                self._handle_abort(session, frame, fid)
+            elif frame_type == "sleep":
+                self._handle_sleep(session, fid)
+            elif frame_type == "awake":
+                self._handle_awake(session, fid)
+            elif frame_type == "bye":
+                self._handle_bye(session, fid)
+            elif frame_type == "hello":
+                raise ProtocolError("hello", "session already attached")
+            else:
+                raise WireFormatError(
+                    f"unknown frame type {frame_type!r}")
+        except ReproError as exc:
+            self.metrics.counter("service_error_frames").inc()
+            session.send(error_frame(exc, re=fid))
+        finally:
+            self._responding_txn = None
+        self._pump()
+
+    def _reply(self, session: Session, frame: dict[str, Any],
+               fid: Any) -> None:
+        if fid is not None:
+            frame["re"] = fid
+        session.send(frame)
+
+    def _own_txn(self, session: Session, frame: dict[str, Any]) -> str:
+        txn_id = frame.get("txn")
+        if not isinstance(txn_id, str):
+            raise WireFormatError(f"txn must be a string: {txn_id!r}")
+        owner = self._txn_session.get(txn_id)
+        if owner is not session:
+            # Unknown and foreign transactions are indistinguishable on
+            # purpose: a session cannot probe other sessions' ids.
+            raise GTMError(f"unknown transaction {txn_id!r}")
+        return txn_id
+
+    # -- verbs ----------------------------------------------------------
+
+    def _handle_begin(self, session: Session, frame: dict[str, Any],
+                      fid: Any) -> None:
+        txn_id = frame.get("txn")
+        if txn_id is None:
+            txn_id = session.next_txn_id()
+        elif not isinstance(txn_id, str) or not txn_id:
+            raise WireFormatError(
+                f"txn must be a non-empty string: {txn_id!r}")
+        if txn_id in self.gtm.transactions:
+            raise ProtocolError("begin",
+                                f"transaction {txn_id!r} exists")
+        self._responding_txn = txn_id
+        self.gtm.begin(txn_id)
+        session.txns.add(txn_id)
+        self._txn_session[txn_id] = session
+        self.metrics.counter("service_txn_begun").inc()
+        self._reply(session, {"type": "begun", "txn": txn_id}, fid)
+
+    def _handle_op(self, session: Session, frame: dict[str, Any],
+                   fid: Any) -> None:
+        txn_id = self._own_txn(session, frame)
+        invocation = build_invocation(frame)
+        object_name = self._ensure_object(frame.get("object"),
+                                          invocation.op_class)
+        self._responding_txn = txn_id
+        outcome = self.gtm.invoke(txn_id, object_name, invocation)
+        if outcome == GrantOutcome.GRANTED:
+            value = self.gtm.apply(txn_id, object_name, invocation)
+            self.metrics.counter("service_ops_granted").inc()
+            self._reply(session, {
+                "type": "granted", "txn": txn_id,
+                "object": object_name, "member": invocation.member,
+                "value": value}, fid)
+        elif outcome == GrantOutcome.QUEUED:
+            txn = self.gtm.transactions.get(txn_id)
+            if txn is None or txn.state.terminal:
+                # The admission cascade (victim aborts → unlock pump →
+                # re-policing) chose *this* transaction as a later
+                # victim after queueing it: QUEUED describes a
+                # transaction that no longer exists.  Its outcome push
+                # was suppressed (we are its direct reply), so report
+                # the abort here.
+                self.metrics.counter("service_deadlock_aborts").inc()
+                self._reply(session, {
+                    "type": "aborted", "txn": txn_id,
+                    "reason": "deadlock"}, fid)
+            else:
+                self._pending_ops.setdefault(txn_id, {}).setdefault(
+                    (object_name, invocation.member), []).append(fid)
+                self.metrics.counter("service_ops_queued").inc()
+                self._reply(session, {
+                    "type": "queued", "txn": txn_id,
+                    "object": object_name,
+                    "member": invocation.member}, fid)
+        else:  # GrantOutcome.ABORTED — deadlock victim
+            self.metrics.counter("service_deadlock_aborts").inc()
+            self._reply(session, {
+                "type": "aborted", "txn": txn_id,
+                "reason": "deadlock"}, fid)
+
+    def _handle_commit(self, session: Session, frame: dict[str, Any],
+                       fid: Any) -> None:
+        txn_id = self._own_txn(session, frame)
+        self._responding_txn = txn_id
+        self.gtm.request_commit(txn_id)
+        # The SST report may be None even on success (objects without
+        # an LDBS binding run no SST) — the transaction's state is the
+        # truth: Committed now, or Committing behind another committer.
+        txn = self.gtm.transactions.get(txn_id)
+        if txn is not None and txn.is_in(_TS.COMMITTING):
+            self._pending_commits.add(txn_id)
+            self._reply(session, {"type": "commit-pending",
+                                  "txn": txn_id}, fid)
+        else:
+            self._reply(session, {"type": "committed",
+                                  "txn": txn_id}, fid)
+
+    def _handle_abort(self, session: Session, frame: dict[str, Any],
+                      fid: Any) -> None:
+        txn_id = self._own_txn(session, frame)
+        self._responding_txn = txn_id
+        self.gtm.abort(txn_id, reason="requested")
+        self._reply(session, {"type": "aborted", "txn": txn_id,
+                              "reason": "requested"}, fid)
+
+    def _handle_sleep(self, session: Session, fid: Any) -> None:
+        """Voluntary ⟨sleep⟩ announce (the connection may stay up)."""
+        slept: list[str] = []
+        for txn_id in sorted(session.txns):
+            txn = self.gtm.transactions.get(txn_id)
+            if txn is not None and txn.is_in(_TS.ACTIVE, _TS.WAITING):
+                self.gtm.sleep(txn_id)
+                slept.append(txn_id)
+        self._reply(session, {"type": "sleeping",
+                              "token": session.token,
+                              "txns": slept}, fid)
+
+    def _handle_awake(self, session: Session, fid: Any) -> None:
+        """Explicit ⟨awake⟩ for a client that slept without dropping."""
+        results = self._awake_all(session)
+        for result in results:
+            reply = {"type": "awoken", **result}
+            self._reply(session, reply, fid)
+        if not results:
+            self._reply(session, {"type": "awoken", "txn": None,
+                                  "survived": True}, fid)
+
+    def _handle_bye(self, session: Session, fid: Any) -> None:
+        for txn_id in sorted(session.txns):
+            txn = self.gtm.transactions.get(txn_id)
+            if txn is None or txn.state.terminal:
+                continue
+            if txn.is_in(_TS.COMMITTING):
+                continue
+            self._responding_txn = None  # push the abort notification
+            self.gtm.abort(txn_id, reason="session-closed")
+        self._reply(session, {"type": "goodbye"}, fid)
+        self.sessions.close(session)
+
+    # ------------------------------------------------------------------
+    # awake / pumps / bus hooks
+    # ------------------------------------------------------------------
+
+    def _awake_all(self, session: Session) -> list[dict[str, Any]]:
+        """⟨awake, A⟩ every sleeping transaction; report each verdict."""
+        results: list[dict[str, Any]] = []
+        for txn_id in sorted(session.txns):
+            txn = self.gtm.transactions.get(txn_id)
+            if txn is None or not txn.is_in(_TS.SLEEPING):
+                continue
+            self._responding_txn = txn_id
+            try:
+                survived = self.gtm.awake(txn_id)
+            finally:
+                self._responding_txn = None
+            results.append({"txn": txn_id, "survived": survived})
+            self.metrics.counter(
+                "service_awake_survived" if survived
+                else "service_awake_aborted").inc()
+        return results
+
+    def _pump(self) -> None:
+        """Finish deferred commits that became completable, then retire.
+
+        Per-transaction :meth:`try_finish_commit` keeps this O(pending)
+        — a long-lived service must not scan its whole transaction
+        registry after every frame.
+        """
+        progress = True
+        while progress and self._pending_commits:
+            progress = False
+            for txn_id in sorted(self._pending_commits):
+                txn = self.gtm.transactions.get(txn_id)
+                if txn is None or not txn.is_in(_TS.COMMITTING):
+                    self._pending_commits.discard(txn_id)
+                    continue
+                if self.gtm.commit_ready(txn_id):
+                    self.gtm.try_finish_commit(txn_id)
+                    progress = True
+        if self.config.retire_finished and self._retire:
+            for txn_id in self._retire:
+                self.gtm.transactions.pop(txn_id, None)
+            self._retire.clear()
+
+    def _on_grant_hook(self, txn, obj, invocation) -> None:
+        """Bus ``on_grant``: complete a queued op asynchronously."""
+        ops = self._pending_ops.get(txn.txn_id)
+        key = (obj.name, invocation.member)
+        if not ops or key not in ops:
+            return  # a synchronous grant — the direct reply covers it
+        fid = ops[key].pop(0)
+        if not ops[key]:
+            del ops[key]
+        if not ops:
+            self._pending_ops.pop(txn.txn_id, None)
+        session = self._txn_session.get(txn.txn_id)
+        if session is None:
+            return
+        try:
+            value = self.gtm.apply(txn.txn_id, obj.name, invocation)
+        except ReproError as exc:
+            session.send(error_frame(exc, re=fid))
+            return
+        self.metrics.counter("service_ops_granted").inc()
+        push = {"type": "granted", "txn": txn.txn_id,
+                "object": obj.name, "member": invocation.member,
+                "value": value}
+        if fid is not None:
+            push["re"] = fid
+        session.send(push)
+
+    def _on_finished(self, txn_id: str, outcome: str,
+                     reason: str) -> None:
+        """Bus global-commit/abort: bookkeeping plus the outcome push."""
+        session = self._txn_session.pop(txn_id, None)
+        self._pending_ops.pop(txn_id, None)
+        was_pending_commit = txn_id in self._pending_commits
+        self._pending_commits.discard(txn_id)
+        self.metrics.counter(f"service_txn_{outcome}").inc()
+        if self.config.retire_finished:
+            self._retire.append(txn_id)
+        if session is None:
+            return
+        session.txns.discard(txn_id)
+        if self._responding_txn == txn_id:
+            return  # the direct reply carries the outcome
+        if not session.connected:
+            # Unreachable: hold the outcome for the reconnect welcome.
+            session.finished[txn_id] = outcome
+            return
+        if outcome == "committed":
+            if was_pending_commit:
+                session.send({"type": "committed", "txn": txn_id})
+        else:
+            session.send({"type": "aborted", "txn": txn_id,
+                          "reason": reason})
+
+    def __repr__(self) -> str:
+        return (f"<GTMService sessions={len(self.sessions)} "
+                f"live_txns={len(self._txn_session)} "
+                f"shutting_down={self._shutting_down}>")

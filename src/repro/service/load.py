@@ -1,0 +1,332 @@
+"""The concurrent-session load harness: ``python -m repro.service.load``.
+
+Spawns N client coroutines against one in-process service (in-memory
+streams by default — no fd per session — or real TCP with
+``--transport tcp``).  Each session runs a begin → ops → commit loop
+with seeded disconnect/reconnect churn: a fraction of transactions
+drop the connection mid-flight, sleep out the outage, reconnect with
+the session token, and try to finish the surviving work — exercising
+⟨sleep⟩/⟨awake⟩/BTO under real concurrency instead of simulated time.
+
+When every session finishes, the run is handed to the serializability
+oracle (:mod:`repro.check.oracle`): the service is only correct if the
+concurrent outcome is explained by a serial order.  The report —
+sustained txn/s, commit latency p50/p95/p99, outcome counts, oracle
+verdict — is written to ``BENCH_service.json``; a non-serializable
+outcome (or zero commits) exits non-zero so CI fails loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from repro.errors import GTMError, SessionError
+from repro.check.oracle import check_episode, record_gtm
+from repro.driver.asyncio_driver import AsyncioDriver
+from repro.service.client import ConnectionLost, ServiceClient
+from repro.service.core import GTMService, ServiceConfig
+from repro.service.server import (
+    ServiceServer,
+    memory_connector,
+    tcp_connector,
+)
+
+
+@dataclass
+class LoadConfig:
+    """One load run's shape."""
+
+    sessions: int = 200
+    #: transactions each session must *finish* (commit or abort).
+    transactions: int = 10
+    ops_per_txn: int = 4
+    objects: int = 64
+    #: probability a transaction drops the connection mid-flight.
+    drop_prob: float = 0.1
+    #: seconds a dropped session stays away before reconnecting.
+    reconnect_delay: float = 0.01
+    #: server-side BTO timeout (keep > reconnect_delay or everything
+    #: the churn touches gets aborted).
+    bto_timeout: float = 30.0
+    transport: str = "memory"  # "memory" | "tcp"
+    seed: int = 42
+    out: str = "BENCH_service.json"
+
+
+_OPS = ("read", "add", "assign", "mul")
+
+
+class _SessionStats:
+    __slots__ = ("committed", "aborted", "drops", "latencies")
+
+    def __init__(self) -> None:
+        self.committed = 0
+        self.aborted = 0
+        self.drops = 0
+        self.latencies: list[float] = []
+
+
+async def _run_session(index: int, cfg: LoadConfig, connector,
+                       stats: _SessionStats) -> None:
+    rng = random.Random(f"{cfg.seed}:{index}")
+    loop = asyncio.get_event_loop()
+    client = ServiceClient(*await connector())
+    await client.hello()
+    token = client.token
+    finished = 0
+    try:
+        while finished < cfg.transactions:
+            started = loop.time()
+            txn: str | None = None
+            try:
+                txn = await client.begin()
+            except ConnectionLost:
+                try:
+                    client = await _reconnect(client, connector,
+                                              token, cfg)
+                except SessionError:
+                    client, token = await _fresh_identity(connector)
+                continue
+            drop_at = (rng.randrange(cfg.ops_per_txn)
+                       if rng.random() < cfg.drop_prob else None)
+            outcome: str | None = None
+            try:
+                for op_index in range(cfg.ops_per_txn):
+                    if op_index == drop_at:
+                        client.drop()
+                        stats.drops += 1
+                        await asyncio.sleep(cfg.reconnect_delay)
+                        client = await _reconnect(
+                            client, connector, token, cfg)
+                        outcome = await _finish_after_outage(
+                            client, txn)
+                        break
+                    op = _OPS[rng.randrange(len(_OPS))]
+                    obj = f"o{rng.randrange(cfg.objects):05d}"
+                    operand = (None if op == "read"
+                               else rng.randrange(1, 10))
+                    reply = await client.op(txn, op, obj, operand)
+                    if reply["type"] == "aborted":
+                        outcome = "aborted"
+                        break
+                else:
+                    reply = await client.commit(txn)
+                    outcome = ("committed"
+                               if reply["type"] == "committed"
+                               else "aborted")
+            except ConnectionLost:
+                # The transport died under us (e.g. server push race
+                # after an overflow): resume and settle the txn.
+                stats.drops += 1
+                await asyncio.sleep(cfg.reconnect_delay)
+                try:
+                    client = await _reconnect(client, connector,
+                                              token, cfg)
+                    outcome = await _finish_after_outage(client, txn)
+                except SessionError:
+                    client, token = await _fresh_identity(connector)
+                    outcome = "aborted"
+            except SessionError:
+                # The token died during the outage (BTO expiry or
+                # close): the in-flight work is gone; new identity.
+                client, token = await _fresh_identity(connector)
+                outcome = "aborted"
+            except GTMError:
+                # A semantic failure (e.g. reconciliation undefined):
+                # the transaction cannot finish — abort it.
+                try:
+                    await client.abort(txn)
+                except Exception:
+                    pass
+                outcome = "aborted"
+            finished += 1
+            if outcome == "committed":
+                stats.committed += 1
+                stats.latencies.append(loop.time() - started)
+            else:
+                stats.aborted += 1
+    finally:
+        try:
+            await client.bye()
+        except Exception:
+            await client.close()
+
+
+async def _fresh_identity(connector) -> tuple[ServiceClient, str]:
+    """The old token is dead; start over as a new session."""
+    client = ServiceClient(*await connector())
+    await client.hello()
+    return client, client.token
+
+
+async def _reconnect(old: ServiceClient, connector, token: str,
+                     cfg: LoadConfig) -> ServiceClient:
+    """Open a fresh transport and resume the session token."""
+    await old.close()
+    while True:
+        client = ServiceClient(*await connector())
+        try:
+            await client.hello(token)
+            return client
+        except ConnectionLost:
+            await client.close()
+            await asyncio.sleep(cfg.reconnect_delay)
+        except SessionError:
+            # Expired (BTO) or closed: the old work is gone; the
+            # caller treats in-flight txns as aborted via the welcome.
+            await client.close()
+            raise
+
+
+async def _finish_after_outage(client: ServiceClient,
+                               txn: str) -> str:
+    """After ⟨awake⟩, settle the surviving transaction's fate."""
+    welcome = client.last_welcome or {}
+    for entry in welcome.get("awake", ()):
+        if entry["txn"] == txn:
+            if not entry["survived"]:
+                return "aborted"
+            client.adopt(txn)
+            try:
+                reply = await client.commit(txn)
+            except ConnectionLost:
+                return "aborted"
+            return ("committed" if reply["type"] == "committed"
+                    else "aborted")
+    outcome = welcome.get("finished", {}).get(txn)
+    if outcome is not None:
+        return outcome
+    # Not sleeping, not finished: it never obtained a grant, so the
+    # drop left it Active server-side; abort it explicitly.
+    client.adopt(txn)
+    try:
+        await client.abort(txn)
+    except Exception:
+        pass
+    return "aborted"
+
+
+async def run_load(cfg: LoadConfig) -> dict[str, Any]:
+    """Run one load campaign; returns the (oracle-checked) report."""
+    driver = AsyncioDriver()
+    service = GTMService(driver, config=ServiceConfig(
+        bto_timeout=cfg.bto_timeout, retire_finished=True))
+    # Start at 1, and the op mix only adds/assigns/multiplies positive
+    # operands — values stay nonzero, keeping multiplicative
+    # reconciliation (undefined for X_read == 0) well-posed.
+    for index in range(cfg.objects):
+        service.create_object(f"o{index:05d}", value=1)
+    server = ServiceServer(service)
+    if cfg.transport == "tcp":
+        host, port = await server.start_tcp()
+        connector = tcp_connector(host, port)
+    else:
+        connector = memory_connector(server)
+
+    stats = [_SessionStats() for _ in range(cfg.sessions)]
+    wall_start = time.perf_counter()
+    await asyncio.gather(*(
+        _run_session(index, cfg, connector, stats[index])
+        for index in range(cfg.sessions)))
+    elapsed = time.perf_counter() - wall_start
+    await server.shutdown()
+
+    committed = sum(s.committed for s in stats)
+    aborted = sum(s.aborted for s in stats)
+    drops = sum(s.drops for s in stats)
+    latencies = sorted(lat for s in stats for lat in s.latencies)
+
+    oracle = check_episode(record_gtm(service.gtm))
+    report = {
+        "config": asdict(cfg),
+        "sessions": cfg.sessions,
+        "elapsed_s": round(elapsed, 3),
+        "committed": committed,
+        "aborted": aborted,
+        "drops": drops,
+        "txn_per_s": round(committed / elapsed, 1) if elapsed else 0.0,
+        "latency_ms": {
+            "p50": _percentile(latencies, 0.50),
+            "p95": _percentile(latencies, 0.95),
+            "p99": _percentile(latencies, 0.99),
+        },
+        "oracle": {
+            "serializable": oracle.serializable,
+            "committed": oracle.committed,
+            "orders_tried": oracle.orders_tried,
+        },
+    }
+    return report
+
+
+def _percentile(sorted_values: list[float], q: float) -> float | None:
+    """q-th percentile in milliseconds (nearest-rank), None if empty."""
+    if not sorted_values:
+        return None
+    rank = min(len(sorted_values) - 1,
+               max(0, int(q * len(sorted_values)) - 1))
+    return round(sorted_values[rank] * 1000.0, 3)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.load",
+        description="Concurrent-session load harness for the GTM "
+                    "service (oracle-checked).")
+    defaults = LoadConfig()
+    parser.add_argument("--sessions", type=int,
+                        default=defaults.sessions)
+    parser.add_argument("--transactions", type=int,
+                        default=defaults.transactions,
+                        help="transactions per session")
+    parser.add_argument("--ops-per-txn", type=int,
+                        default=defaults.ops_per_txn)
+    parser.add_argument("--objects", type=int, default=defaults.objects)
+    parser.add_argument("--drop-prob", type=float,
+                        default=defaults.drop_prob)
+    parser.add_argument("--reconnect-delay", type=float,
+                        default=defaults.reconnect_delay)
+    parser.add_argument("--bto-timeout", type=float,
+                        default=defaults.bto_timeout)
+    parser.add_argument("--transport", choices=("memory", "tcp"),
+                        default=defaults.transport)
+    parser.add_argument("--seed", type=int, default=defaults.seed)
+    parser.add_argument("--out", default=defaults.out,
+                        help="report path (JSON)")
+    args = parser.parse_args(argv)
+    cfg = LoadConfig(
+        sessions=args.sessions, transactions=args.transactions,
+        ops_per_txn=args.ops_per_txn, objects=args.objects,
+        drop_prob=args.drop_prob,
+        reconnect_delay=args.reconnect_delay,
+        bto_timeout=args.bto_timeout, transport=args.transport,
+        seed=args.seed, out=args.out)
+
+    report = asyncio.run(run_load(cfg))
+    with open(cfg.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"sessions={report['sessions']} "
+          f"committed={report['committed']} "
+          f"aborted={report['aborted']} drops={report['drops']} "
+          f"txn/s={report['txn_per_s']}")
+    print(f"latency ms p50={report['latency_ms']['p50']} "
+          f"p95={report['latency_ms']['p95']} "
+          f"p99={report['latency_ms']['p99']}")
+    print(f"oracle serializable={report['oracle']['serializable']} "
+          f"({report['oracle']['committed']} committed)")
+    if not report["oracle"]["serializable"] or not report["committed"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

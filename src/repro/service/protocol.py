@@ -1,0 +1,244 @@
+"""The wire protocol: newline-delimited JSON frames and error codes.
+
+One frame per line, one JSON object per frame, ``type`` selects the
+verb.  The client vocabulary mirrors the paper's event alphabet —
+⟨begin, A⟩, ⟨op, X, A⟩, ⟨commit, A⟩, ⟨abort, A⟩, ⟨sleep, A⟩,
+⟨awake, A⟩ — plus the session verbs (``hello``/``bye``/``ping``) that
+do not exist in the simulator because there a "connection" is a
+scheduled event, not a socket.
+
+Requests may carry a client-chosen ``id``; the direct response echoes
+it as ``re``.  Frames pushed by the server on its own initiative (a
+late grant, a deferred commit completing, a shutdown notice) carry no
+``re``.
+
+Every failure crosses the wire as one ``error`` frame whose ``code``
+identifies exactly one exception class in the
+:class:`~repro.errors.GTMError` taxonomy — the mapping is bijective
+and round-trips (:func:`error_frame` / :func:`frame_to_exception`),
+which the table-driven test in ``tests/service/test_protocol.py``
+enforces for every public subclass.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import (
+    GTMError,
+    IllegalTransition,
+    IncompatibleOperations,
+    ProtocolError,
+    ReconciliationError,
+    SSTFailure,
+    SessionError,
+    SessionExpired,
+    TokenInUse,
+    UnknownToken,
+    WireFormatError,
+)
+from repro.core.opclass import Invocation, OperationClass
+
+#: Hard cap on one encoded frame; longer lines are a protocol error
+#: (and the reader's line limit enforces it before parsing).
+MAX_FRAME_BYTES = 64 * 1024
+
+#: Client-initiated frame types.
+REQUEST_TYPES = frozenset({
+    "hello", "begin", "op", "commit", "abort", "sleep", "awake",
+    "bye", "ping",
+})
+
+#: Server-initiated frame types (responses and pushes).
+RESPONSE_TYPES = frozenset({
+    "welcome", "begun", "granted", "queued", "committed",
+    "commit-pending", "aborted", "sleeping", "awoken", "goodbye",
+    "pong", "shutdown", "error",
+})
+
+#: Wire op name -> operation class (the ``op`` field of an op frame).
+OP_NAMES: dict[str, OperationClass] = {
+    "read": OperationClass.READ,
+    "insert": OperationClass.INSERT,
+    "delete": OperationClass.DELETE,
+    "assign": OperationClass.UPDATE_ASSIGN,
+    "add": OperationClass.UPDATE_ADDSUB,
+    "mul": OperationClass.UPDATE_MULDIV,
+}
+
+
+# ---------------------------------------------------------------------------
+# frame codec
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(frame: dict[str, Any]) -> bytes:
+    """Serialize one frame to its wire form (compact JSON + newline)."""
+    data = json.dumps(frame, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+    if len(data) + 1 > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"frame of {len(data)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
+    return data + b"\n"
+
+
+def decode_frame(line: bytes | str) -> dict[str, Any]:
+    """Parse one wire line into a frame dict, validating the envelope."""
+    if isinstance(line, bytes) and len(line) > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"frame of {len(line)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
+    try:
+        frame = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WireFormatError(f"frame is not valid JSON: {exc}") from None
+    if not isinstance(frame, dict):
+        raise WireFormatError(
+            f"frame must be a JSON object, got {type(frame).__name__}")
+    frame_type = frame.get("type")
+    if not isinstance(frame_type, str):
+        raise WireFormatError("frame has no string 'type' field")
+    return frame
+
+
+def build_invocation(frame: dict[str, Any]) -> Invocation:
+    """Turn an ``op`` frame into an :class:`Invocation`.
+
+    Malformed shapes raise :class:`WireFormatError`; semantically
+    invalid operands (a zero multiplier, a missing operand) surface as
+    the core's own :class:`~repro.errors.GTMError` — both end up as
+    error frames, each under its own code.
+    """
+    op_name = frame.get("op")
+    if op_name not in OP_NAMES:
+        raise WireFormatError(
+            f"unknown op {op_name!r}; known: {sorted(OP_NAMES)}")
+    member = frame.get("member", "value")
+    if not isinstance(member, str):
+        raise WireFormatError(f"op member must be a string: {member!r}")
+    return Invocation(OP_NAMES[op_name], member=member,
+                      operand=frame.get("operand"))
+
+
+# ---------------------------------------------------------------------------
+# the error-frame taxonomy: one exception class <-> one wire code
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ErrorSpec:
+    """Codec for one exception class: frame fields in both directions."""
+
+    cls: type
+    code: str
+    fields: Callable[[BaseException], dict[str, Any]]
+    build: Callable[[dict[str, Any]], BaseException]
+
+
+def _message_spec(cls: type, code: str) -> ErrorSpec:
+    """Spec for classes whose constructor takes the message string."""
+    return ErrorSpec(
+        cls, code,
+        fields=lambda exc: {"message": str(exc)},
+        build=lambda f: cls(f.get("message", "")))
+
+
+#: The full bijection.  Order matters only for documentation; lookup
+#: goes through the exact-class and exact-code maps below.
+ERROR_SPECS: tuple[ErrorSpec, ...] = (
+    _message_spec(GTMError, "gtm/error"),
+    ErrorSpec(
+        ProtocolError, "gtm/protocol",
+        fields=lambda e: {"event": e.event, "reason": e.reason},
+        build=lambda f: ProtocolError(f.get("event", "?"),
+                                      f.get("reason", ""))),
+    ErrorSpec(
+        IllegalTransition, "gtm/illegal-transition",
+        fields=lambda e: {"txn": e.txn_id, "source": e.source,
+                          "target": e.target},
+        build=lambda f: IllegalTransition(f.get("txn", "?"),
+                                          f.get("source", "?"),
+                                          f.get("target", "?"))),
+    _message_spec(IncompatibleOperations, "gtm/incompatible-operations"),
+    _message_spec(ReconciliationError, "gtm/reconciliation"),
+    ErrorSpec(
+        SSTFailure, "gtm/sst-failure",
+        fields=lambda e: {"txn": e.txn_id, "reason": e.reason},
+        build=lambda f: SSTFailure(f.get("txn", "?"),
+                                   f.get("reason", ""))),
+    _message_spec(SessionError, "session/error"),
+    ErrorSpec(
+        UnknownToken, "session/unknown-token",
+        fields=lambda e: {"token": e.token},
+        build=lambda f: UnknownToken(f.get("token", "?"))),
+    ErrorSpec(
+        TokenInUse, "session/token-in-use",
+        fields=lambda e: {"token": e.token},
+        build=lambda f: TokenInUse(f.get("token", "?"))),
+    ErrorSpec(
+        SessionExpired, "session/expired",
+        fields=lambda e: {"token": e.token,
+                          "aborted": list(e.aborted)},
+        build=lambda f: SessionExpired(f.get("token", "?"),
+                                       tuple(f.get("aborted", ())))),
+    _message_spec(WireFormatError, "wire/malformed"),
+)
+
+_SPEC_BY_CLASS: dict[type, ErrorSpec] = {s.cls: s for s in ERROR_SPECS}
+_SPEC_BY_CODE: dict[str, ErrorSpec] = {s.code: s for s in ERROR_SPECS}
+
+
+def error_code(exc: BaseException) -> str:
+    """The wire code for an exception (nearest registered ancestor)."""
+    for cls in type(exc).__mro__:
+        spec = _SPEC_BY_CLASS.get(cls)
+        if spec is not None:
+            return spec.code
+    return "gtm/error"
+
+
+def error_frame(exc: BaseException, *,
+                re: Any = None, **extra: Any) -> dict[str, Any]:
+    """Encode an exception as one ``error`` frame.
+
+    An exception class without its own spec is encoded under its
+    nearest registered ancestor's code (so a future subclass degrades
+    gracefully instead of crashing the connection).
+    """
+    spec = None
+    for cls in type(exc).__mro__:
+        spec = _SPEC_BY_CLASS.get(cls)
+        if spec is not None:
+            break
+    frame: dict[str, Any] = {"type": "error"}
+    if re is not None:
+        frame["re"] = re
+    if spec is None:
+        frame["code"] = "gtm/error"
+        frame["message"] = str(exc)
+    else:
+        frame["code"] = spec.code
+        frame["message"] = str(exc)
+        frame.update(spec.fields(exc))
+    frame.update(extra)
+    return frame
+
+
+def frame_to_exception(frame: dict[str, Any]) -> BaseException:
+    """Decode an ``error`` frame back into its exception.
+
+    The inverse of :func:`error_frame` for every registered code; the
+    round-trip test asserts class identity, message, and carried
+    attributes survive the wire.
+    """
+    if frame.get("type") != "error":
+        raise WireFormatError(
+            f"not an error frame: type={frame.get('type')!r}")
+    code = frame.get("code")
+    spec = _SPEC_BY_CODE.get(code)
+    if spec is None:
+        raise WireFormatError(f"unknown error code {code!r}")
+    return spec.build(frame)

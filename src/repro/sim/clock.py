@@ -1,42 +1,13 @@
-"""Monotone virtual clock for the simulation kernel."""
+"""Monotone virtual clock for the simulation kernel.
+
+The canonical implementation now lives in :mod:`repro.driver.clock`
+behind the :class:`~repro.driver.clock.Clock` protocol — the simulation
+kernel is one driver among several.  This module re-exports it so
+existing imports keep working.
+"""
 
 from __future__ import annotations
 
-from repro.errors import ClockError
+from repro.driver.clock import Clock, VirtualClock, WallClock
 
-
-class VirtualClock:
-    """A virtual clock measured in simulated seconds.
-
-    The clock can only move forward.  The engine advances it as events are
-    dispatched; user code reads it via :attr:`now`.
-    """
-
-    __slots__ = ("_now",)
-
-    def __init__(self, start: float = 0.0) -> None:
-        self._now = float(start)
-
-    @property
-    def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self._now
-
-    def advance_to(self, when: float) -> None:
-        """Move the clock to ``when``.
-
-        Raises :class:`~repro.errors.ClockError` if ``when`` precedes the
-        current time: the discrete-event invariant is that time is monotone.
-        """
-        if when < self._now:
-            raise ClockError(
-                f"cannot move clock backwards: {when} < {self._now}"
-            )
-        self._now = when
-
-    def reset(self, start: float = 0.0) -> None:
-        """Reset the clock (used when an engine is reused between runs)."""
-        self._now = float(start)
-
-    def __repr__(self) -> str:
-        return f"VirtualClock(now={self._now!r})"
+__all__ = ["Clock", "VirtualClock", "WallClock"]

@@ -85,6 +85,10 @@ class SimulationEngine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self.clock = VirtualClock(start_time)
+        # The engine owns its clock: observers time their intervals off
+        # it, so a bare clock.reset() mid-run would silently rewind
+        # their timelines.  Resetting goes through engine.reset().
+        self.clock.bind_driver(self)
         self._queue: list[ScheduledEvent] = []
         self._sequence = itertools.count()
         self._events_dispatched = 0
@@ -188,6 +192,26 @@ class SimulationEngine:
     def stop(self) -> None:
         """Ask a running :meth:`run` loop to stop after the current event."""
         self._stopped = True
+
+    def reset(self, start_time: float = 0.0) -> None:
+        """Reset the engine for reuse: clock, queue, and counters together.
+
+        This is the *only* way to rewind an engine's clock — resetting
+        the clock alone would leave stale events in the queue and
+        rewind time underneath any observer that timestamps off it.
+        """
+        if self._running:
+            raise SimulationError("cannot reset a running engine")
+        for event in self._queue:
+            # outstanding handles must not read as alive after the
+            # queue they lived in is gone
+            event.cancelled = True
+        self._queue.clear()
+        self._sequence = itertools.count()
+        self._events_dispatched = 0
+        self._live = 0
+        self._stopped = False
+        self.clock._driver_reset(start_time)
 
     # -- internals ----------------------------------------------------------
 
