@@ -59,6 +59,10 @@ def main(argv: list[str] | None = None) -> int:
         if payload["differential"]["divergences"]:
             print("DIFFERENTIAL DIVERGENCE DETECTED", file=sys.stderr)
             return 1
+        if payload["backend_differential"]["divergences"]:
+            print("BACKEND DIFFERENTIAL DIVERGENCE DETECTED",
+                  file=sys.stderr)
+            return 1
         if not payload["parallel_scaling"]["outcomes_identical"]:
             print("PARALLEL CAMPAIGN DIVERGED FROM SERIAL",
                   file=sys.stderr)

@@ -70,6 +70,10 @@ class PerfProfile:
     throughput_objects: int = 16
     #: Differential fuzz episodes per scheduler.
     differential_episodes: int = 25
+    #: Backend-SST microbench: SSTs executed per LDBS backend.
+    backend_ssts: int = 200
+    #: Backend-differential (memory vs SQLite) episodes per scheduler.
+    backend_differential_episodes: int = 15
     #: Parallel scaling curve: campaign episodes per scheduler and the
     #: swept ``jobs`` values (jobs beyond the machine's cores are still
     #: measured — the flat tail is part of the curve).
@@ -84,6 +88,8 @@ PROFILES: dict[str, PerfProfile] = {
     "smoke": PerfProfile(name="smoke"),
     "full": PerfProfile(name="full", conflict_iters=20000, pump_iters=600,
                         rounds=400, differential_episodes=120,
+                        backend_ssts=1500,
+                        backend_differential_episodes=80,
                         scaling_episodes=200,
                         scaling_jobs=(1, 2, 4, 8)),
 }
@@ -302,8 +308,84 @@ def bench_throughput(profile: PerfProfile) -> dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# backend-SST microbench
+# ---------------------------------------------------------------------------
+
+
+def bench_backend_sst(profile: PerfProfile) -> dict[str, Any]:
+    """SST commit rate per LDBS backend, with state identity asserted.
+
+    The same stream of single-object SSTs (the hot write path a real
+    deployment pays on every global commit) runs on every registered
+    backend; each backend's final committed state must be identical,
+    so a backend that got faster by dropping writes fails loudly.
+    """
+    from repro.core.objects import ObjectBinding
+    from repro.core.sst import SSTExecutor, StagedWrite
+    from repro.ldbs.backend import backend_names, create_backend
+    from repro.ldbs.schema import Column, ColumnType, TableSchema
+
+    runs: list[dict[str, Any]] = []
+    dumps: list[dict[str, Any]] = []
+    for name in backend_names():
+        backend = create_backend(name)
+        backend.create_table(TableSchema(
+            "obj", (Column("id", ColumnType.INT),
+                    Column("value", ColumnType.FLOAT, nullable=True)),
+            primary_key="id"))
+        backend.seed("obj", [{"id": 1, "value": 0.0}])
+        executor = SSTExecutor(backend)
+        binding = ObjectBinding.cell("obj", 1, "value")
+        start = _CLOCK()
+        for index in range(profile.backend_ssts):
+            executor.execute(
+                f"T{index}",
+                [StagedWrite("obj", binding, {"value": float(index)})])
+        elapsed = _CLOCK() - start
+        dumps.append(backend.dump())
+        backend.close()
+        runs.append({
+            "backend": name,
+            "ssts": profile.backend_ssts,
+            "elapsed_s": elapsed,
+            "ssts_per_sec": profile.backend_ssts / max(elapsed, 1e-12),
+        })
+    identical = all(dump == dumps[0] for dump in dumps[1:])
+    if not identical:
+        raise GTMError(
+            f"backend-SST microbench: backends disagree: {dumps!r}")
+    return {"runs": runs, "final_state_identical": identical}
+
+
+# ---------------------------------------------------------------------------
 # differential equivalence
 # ---------------------------------------------------------------------------
+
+
+def bench_backend_differential(profile: PerfProfile, seed: int = 2008,
+                               jobs: int | str = 1) -> dict[str, Any]:
+    """The memory-vs-SQLite campaign folded into BENCH_gtm.json."""
+    per_scheduler: list[dict[str, Any]] = []
+    divergences = 0
+    for scheduler in ("gtm", "2pl", "optimistic"):
+        report = run_differential_campaign(
+            FuzzConfig(scheduler=scheduler), seed=seed,
+            episodes=profile.backend_differential_episodes, jobs=jobs,
+            mode="backend")
+        divergences += len(report.divergent)
+        per_scheduler.append({
+            "scheduler": scheduler,
+            "episodes": report.episodes,
+            "divergences": len(report.divergent),
+            "digest": report.digest,
+            "detail": [c.summary() for c in report.divergent[:3]],
+        })
+    return {
+        "seed": seed,
+        "episodes_per_scheduler": profile.backend_differential_episodes,
+        "schedulers": per_scheduler,
+        "divergences": divergences,
+    }
 
 
 def bench_differential(profile: PerfProfile, seed: int = 2008,
@@ -485,7 +567,10 @@ def run_perf(profile_name: str = "smoke", seed: int = 2008,
     conflict = bench_conflict(profile)
     pump = bench_pump(profile)
     throughput = bench_throughput(profile)
+    backend_sst = bench_backend_sst(profile)
     differential = bench_differential(profile, seed=seed, jobs=jobs)
+    backend_differential = bench_backend_differential(profile, seed=seed,
+                                                      jobs=jobs)
     scaling = bench_parallel_scaling(profile, seed=seed)
     observability = bench_observability(profile, seed=seed)
     reference_hot = conflict["reference_s"] + pump["reference_s"]
@@ -504,7 +589,9 @@ def run_perf(profile_name: str = "smoke", seed: int = 2008,
             "speedup": reference_hot / max(optimized_hot, 1e-12),
         },
         "throughput": throughput,
+        "backend_sst": backend_sst,
         "differential": differential,
+        "backend_differential": backend_differential,
         "parallel_scaling": scaling,
         "observability": observability,
     }
@@ -551,11 +638,28 @@ def render_summary(payload: dict[str, Any]) -> str:
     lines.append(
         f"outcomes identical across engines/shards: "
         f"{throughput['outcomes_identical']}")
+    backend_sst = payload.get("backend_sst")
+    if backend_sst:
+        for run in backend_sst["runs"]:
+            lines.append(
+                f"backend SST [{run['backend']}]: "
+                f"{run['ssts_per_sec']:.0f} SSTs/s "
+                f"({run['ssts']} SSTs in {run['elapsed_s']:.3f}s)")
+        lines.append(
+            f"backend final state identical: "
+            f"{backend_sst['final_state_identical']}")
     lines.append(
         f"differential fuzz: "
         f"{differential['episodes_per_scheduler']} episodes x "
         f"{len(differential['schedulers'])} schedulers, "
         f"{differential['divergences']} divergence(s)")
+    backend_diff = payload.get("backend_differential")
+    if backend_diff:
+        lines.append(
+            f"backend differential (memory vs sqlite): "
+            f"{backend_diff['episodes_per_scheduler']} episodes x "
+            f"{len(backend_diff['schedulers'])} schedulers, "
+            f"{backend_diff['divergences']} divergence(s)")
     scaling = payload.get("parallel_scaling")
     if scaling:
         for point in scaling["curve"]:

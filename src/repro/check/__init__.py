@@ -9,6 +9,12 @@ delta-debugging shrinker (:mod:`repro.check.shrinker`) into ready-to-
 paste regression tests.  See ``docs/CHECKING.md``.
 """
 
+from repro.check.differential import (
+    DifferentialReport,
+    compare_episode,
+    run_backend_differential_campaign,
+    run_differential_campaign,
+)
 from repro.check.fuzzer import (
     EpisodeSpec,
     FuzzConfig,
@@ -37,6 +43,7 @@ from repro.check.shrinker import render_regression_test, shrink_episode
 
 __all__ = [
     "CampaignReport",
+    "DifferentialReport",
     "EpisodeOutcome",
     "EpisodeSpec",
     "FuzzConfig",
@@ -46,13 +53,16 @@ __all__ = [
     "TxnSpec",
     "check_episode",
     "check_episode_invariants",
+    "compare_episode",
     "episode_workload",
     "generate_episode",
     "record_baseline",
     "record_gtm",
     "rehydrate_outcome",
     "render_regression_test",
+    "run_backend_differential_campaign",
     "run_campaign",
+    "run_differential_campaign",
     "run_episode",
     "run_episode_compact",
     "shrink_episode",

@@ -6,6 +6,14 @@ Examples::
     python -m repro.check --scheduler all --episodes 200
     python -m repro.check --seed 7 --episodes 500 --trace-dir traces \\
         --emit-test tests/check/test_regression_auto.py
+    python -m repro.check --backend-differential --scheduler all \\
+        --episodes 200 --jobs auto
+
+``--backend-differential`` switches from the oracle campaign to the
+memory-vs-SQLite LDBS differential: every episode runs once per
+backend and any trace / permanent-state / commit-order-witness /
+invariant / LDBS-dump divergence fails the run (the CI
+``backend-differential`` job).
 
 Exit status 0 = every episode passed the serializability oracle and
 the invariant suite; 1 = at least one failure (the minimized episode
@@ -18,6 +26,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.check.differential import run_backend_differential_campaign
 from repro.check.fuzzer import SCHEDULER_NAMES, FuzzConfig
 from repro.check.runner import (
     CampaignReport,
@@ -61,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the generated regression test here")
     parser.add_argument("--trace-dir", metavar="DIR",
                         help="dump JSON episode traces of failures here")
+    parser.add_argument("--backend-differential", action="store_true",
+                        help="run the memory-vs-SQLite LDBS backend "
+                             "differential instead of the oracle "
+                             "campaign; any divergence fails the run")
     parser.add_argument("--observe", action="store_true",
                         help="record per-episode metrics and print the "
                              "merged fleet table (digest-neutral: never "
@@ -103,10 +116,42 @@ def _report_failures(report: CampaignReport,
             print(report.regression_test)
 
 
+def _run_backend_differential(args: argparse.Namespace,
+                              schedulers: list[str]) -> int:
+    exit_code = 0
+    for scheduler in schedulers:
+        config = FuzzConfig(scheduler=scheduler,
+                            max_txns=args.max_txns,
+                            max_objects=args.max_objects)
+        progress = None
+        if not args.quiet:
+            def progress(index: int, ok: bool,
+                         _total: int = args.episodes,
+                         _name: str = scheduler) -> None:
+                done = index + 1
+                if done % 100 == 0 or done == _total:
+                    print(f"[backend-diff {_name}] {done}/{_total} "
+                          f"episodes", file=sys.stderr)
+        report = run_backend_differential_campaign(
+            config, args.seed, args.episodes,
+            max_divergences=args.max_failures,
+            progress=progress, jobs=args.jobs,
+            chunk_size=args.chunk_size, observe=args.observe)
+        print(report.summary())
+        if not report.ok:
+            exit_code = 1
+            for comparison in report.divergent:
+                print()
+                print(comparison.summary())
+    return exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     schedulers = (list(SCHEDULER_NAMES) if args.scheduler == "all"
                   else [args.scheduler])
+    if args.backend_differential:
+        return _run_backend_differential(args, schedulers)
     exit_code = 0
     for scheduler in schedulers:
         config = FuzzConfig(scheduler=scheduler,

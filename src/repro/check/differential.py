@@ -17,6 +17,16 @@ bitmask engine on the flat lock table, and the bitmask engine on an
 switch) the harness degrades to a run-twice determinism check, keeping
 the campaign interface uniform.
 
+A second axis (``mode="backend"``) compares *LDBS backends* instead of
+conflict engines: each GTM episode runs once with SSTs bound to the
+in-memory engine and once bound to SQLite
+(:mod:`repro.ldbs.sqlite_backend`), asserting identical traces,
+permanent object state, commit-order witness (PAPERS.md commitment
+ordering across sites), invariant sweeps *and* LDBS dumps — the
+paper's "ordinary ACID transactions against the LDBS" claim, proven
+against a real database.  Every divergence this mode finds is a bug to
+fix and pin, in the PR 2/PR 5 style.
+
 Campaigns fan out across worker processes (``jobs=N``): each worker
 regenerates its episodes from the warm ``(config, seed)`` context and
 sends back only a verdict and a canonical SHA-256 digest of the full
@@ -59,6 +69,16 @@ GTM_VARIANTS: tuple[tuple[str, dict[str, Any]], ...] = (
     ("bitmask-8shard", {"conflict_engine": "bitmask", "lock_shards": 8}),
 )
 
+#: (label, GTMConfig overrides) for each LDBS backend under comparison
+#: (``mode="backend"``): same engine, SSTs bound to different databases.
+BACKEND_VARIANTS: tuple[tuple[str, dict[str, Any]], ...] = (
+    ("memory", {"ldbs_backend": "memory"}),
+    ("sqlite", {"ldbs_backend": "sqlite"}),
+)
+
+#: Comparison axes accepted by the campaign entry points.
+DIFFERENTIAL_MODES: tuple[str, ...] = ("engine", "backend")
+
 
 @dataclass
 class VariantRun:
@@ -69,6 +89,12 @@ class VariantRun:
     permanent: dict[str, Any] | None = None
     violations: list[str] = field(default_factory=list)
     crash: str | None = None
+    #: committed transaction ids in global-commit order (the witness
+    #: commitment ordering requires to be site/backend-independent).
+    witness: list[str] | None = None
+    #: the LDBS backend's committed state (``backend.dump()``), only
+    #: populated in backend mode where SSTs write a real database.
+    ldbs: dict[str, Any] | None = None
 
 
 @dataclass
@@ -126,7 +152,8 @@ def comparison_digest(comparison: EpisodeComparison) -> str:
         "runs": [
             {"label": run.label, "trace": run.trace,
              "permanent": run.permanent, "violations": run.violations,
-             "crash": run.crash}
+             "crash": run.crash, "witness": run.witness,
+             "ldbs": run.ldbs}
             for run in comparison.runs],
     }
     canonical = json.dumps(payload, sort_keys=True, default=repr)
@@ -135,12 +162,14 @@ def comparison_digest(comparison: EpisodeComparison) -> str:
 
 def _gtm_variant_scheduler(spec: EpisodeSpec,
                            overrides: dict[str, Any],
-                           observe: "bool | ObsConfig" = False) -> GTMScheduler:
+                           observe: "bool | ObsConfig" = False,
+                           bind_ldbs: bool = False) -> GTMScheduler:
     from repro.check.runner import OBSERVE_DEFAULT
     obs = OBSERVE_DEFAULT if observe is True else (observe or None)
     return GTMScheduler(GTMSchedulerConfig(
         gtm_config=GTMConfig(**overrides),
         wait_timeout=spec.wait_timeout,
+        bind_ldbs=bind_ldbs,
         obs=obs))
 
 
@@ -160,25 +189,45 @@ def _run_variant(spec: EpisodeSpec, label: str,
             name: {"exists": obj.exists, "members": dict(obj.permanent)}
             for name, obj in gtm.objects.items()}
         run.violations = check_episode_invariants(gtm)
+        run.witness = list(gtm.history.commit_order)
+    backend = getattr(scheduler, "last_backend", None)
+    if backend is not None:
+        run.ldbs = backend.dump()
+        backend.close()
     return run
 
 
 def compare_episode(spec: EpisodeSpec,
-                    observe: "bool | ObsConfig" = False) -> EpisodeComparison:
+                    observe: "bool | ObsConfig" = False,
+                    mode: str = "engine") -> EpisodeComparison:
     """Run every variant of one episode and diff the outcomes.
 
-    GTM episodes compare the three engine variants against each other;
-    baseline episodes compare two identical runs (determinism).
-    ``observe`` switches the :mod:`repro.obs` layer on inside every
-    variant run; traces exclude obs artifacts, so the comparison (and
-    its digest) must be unchanged — the obs-neutrality CI job diffs
-    campaign digests with ``observe`` off vs on to prove it.
+    In ``mode="engine"`` GTM episodes compare the three conflict-engine
+    variants against each other; ``mode="backend"`` compares the same
+    engine with SSTs bound to each LDBS backend (in-memory vs SQLite),
+    additionally diffing the commit-order witness and the backends'
+    committed LDBS state.  Baseline episodes compare two identical runs
+    (determinism) on either axis.  ``observe`` switches the
+    :mod:`repro.obs` layer on inside every variant run; traces exclude
+    obs artifacts, so the comparison (and its digest) must be
+    unchanged — the obs-neutrality CI job diffs campaign digests with
+    ``observe`` off vs on to prove it.
     """
+    if mode not in DIFFERENTIAL_MODES:
+        raise WorkloadError(f"unknown differential mode {mode!r}; "
+                            f"expected one of {DIFFERENTIAL_MODES}")
     if spec.scheduler == "gtm":
-        runs = [_run_variant(spec, label,
-                             lambda o=overrides:
-                             _gtm_variant_scheduler(spec, o, observe))
-                for label, overrides in GTM_VARIANTS]
+        if mode == "backend":
+            runs = [_run_variant(spec, label,
+                                 lambda o=overrides:
+                                 _gtm_variant_scheduler(spec, o, observe,
+                                                        bind_ldbs=True))
+                    for label, overrides in BACKEND_VARIANTS]
+        else:
+            runs = [_run_variant(spec, label,
+                                 lambda o=overrides:
+                                 _gtm_variant_scheduler(spec, o, observe))
+                    for label, overrides in GTM_VARIANTS]
     elif spec.scheduler in ("2pl", "optimistic"):
         from repro.check.runner import build_scheduler
         runs = [_run_variant(spec, f"{spec.scheduler}-run{i}",
@@ -206,6 +255,14 @@ def compare_episode(spec: EpisodeSpec,
             comparison.diffs.append(
                 f"{run.label} permanent state != {baseline.label}: "
                 f"{run.permanent!r} vs {baseline.permanent!r}")
+        if run.witness != baseline.witness:
+            comparison.diffs.append(
+                f"{run.label} commit-order witness != {baseline.label}: "
+                f"{run.witness!r} vs {baseline.witness!r}")
+        if run.ldbs != baseline.ldbs:
+            comparison.diffs.append(
+                f"{run.label} LDBS state != {baseline.label}: "
+                f"{_first_trace_diff(baseline.ldbs, run.ldbs)}")
     return comparison
 
 
@@ -221,9 +278,11 @@ def _first_trace_diff(a: dict[str, Any] | None,
 
 
 def _init_differential_worker(config: FuzzConfig, seed: int,
-                              observe: "bool | ObsConfig" = False) -> None:
+                              observe: "bool | ObsConfig" = False,
+                              mode: str = "engine") -> None:
     """Pool initializer: campaign constants, built once per worker."""
-    WorkerContext.install(config=config, seed=seed, observe=observe)
+    WorkerContext.install(config=config, seed=seed, observe=observe,
+                          mode=mode)
 
 
 def _differential_episode_task(index: int) -> tuple[bool, str]:
@@ -235,7 +294,8 @@ def _differential_episode_task(index: int) -> tuple[bool, str]:
     spec = generate_episode(WorkerContext.get("config"),
                             WorkerContext.get("seed"), index)
     comparison = compare_episode(spec,
-                                 observe=WorkerContext.get("observe"))
+                                 observe=WorkerContext.get("observe"),
+                                 mode=WorkerContext.get("mode"))
     return comparison.ok, comparison_digest(comparison)
 
 
@@ -245,9 +305,12 @@ def run_differential_campaign(
         progress: Callable[[int, bool], None] | None = None,
         jobs: int | str = 1, chunk_size: int | None = None,
         observe: "bool | ObsConfig" = False,
+        mode: str = "engine",
 ) -> DifferentialReport:
     """Run ``episodes`` seeded episodes through every variant.
 
+    ``mode`` picks the comparison axis: conflict engines (``"engine"``,
+    the default) or LDBS backends (``"backend"``, in-memory vs SQLite).
     ``jobs`` shards episodes across worker processes; the merge runs in
     episode order with the serial early-stop rule, so the report and
     its rolling ``digest`` are identical for every ``jobs`` /
@@ -256,12 +319,15 @@ def run_differential_campaign(
     ``progress`` receives ``(index, ok)`` per merged episode.
     """
     check_spec_concrete(config, "campaign config")
+    if mode not in DIFFERENTIAL_MODES:
+        raise WorkloadError(f"unknown differential mode {mode!r}; "
+                            f"expected one of {DIFFERENTIAL_MODES}")
     report = DifferentialReport(config=config, seed=seed,
                                 episodes=episodes)
     rolling = hashlib.sha256()
     mapper = ParallelMap(jobs=jobs, chunk_size=chunk_size,
                          initializer=_init_differential_worker,
-                         initargs=(config, seed, observe))
+                         initargs=(config, seed, observe, mode))
     stream = mapper.imap(_differential_episode_task, range(episodes))
     try:
         for index, merged in stream:
@@ -270,7 +336,7 @@ def run_differential_campaign(
                 # capture; rerunning in the parent either reproduces a
                 # deterministic failure or records the worker loss.
                 comparison = _recompare_or_crash(config, seed, index,
-                                                 merged)
+                                                 merged, mode)
                 ok, digest = comparison.ok, comparison_digest(comparison)
             else:
                 ok, digest = merged
@@ -283,7 +349,8 @@ def run_differential_campaign(
             if not ok:
                 if comparison is None:
                     spec = generate_episode(config, seed, index)
-                    comparison = compare_episode(spec, observe=observe)
+                    comparison = compare_episode(spec, observe=observe,
+                                                 mode=mode)
                 report.divergent.append(comparison)
                 if len(report.divergent) >= max_divergences:
                     break
@@ -292,11 +359,21 @@ def run_differential_campaign(
     return report
 
 
+def run_backend_differential_campaign(
+        config: FuzzConfig, seed: int, episodes: int,
+        **kwargs: Any) -> DifferentialReport:
+    """The memory-vs-SQLite campaign: :func:`run_differential_campaign`
+    with ``mode="backend"`` (the CI ``backend-differential`` job)."""
+    return run_differential_campaign(config, seed, episodes,
+                                     mode="backend", **kwargs)
+
+
 def _recompare_or_crash(config: FuzzConfig, seed: int, index: int,
-                        crash: WorkerCrash) -> EpisodeComparison:
+                        crash: WorkerCrash,
+                        mode: str = "engine") -> EpisodeComparison:
     spec = generate_episode(config, seed, index)
     try:
-        return compare_episode(spec)
+        return compare_episode(spec, mode=mode)
     except Exception:  # noqa: BLE001 - deterministic harness failure
         return EpisodeComparison(
             spec=spec, runs=[],

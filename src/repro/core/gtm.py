@@ -84,6 +84,12 @@ class GTMConfig:
     #: Lock-table shards; 1 keeps the flat directory.  Shard count never
     #: changes scheduling outcomes (asserted by the differential tests).
     lock_shards: int = 1
+    #: LDBS backend for SST execution: ``"memory"`` (in-memory strict-2PL
+    #: engine) or ``"sqlite"`` (WAL mode, libres-style read/write path
+    #: split).  Consumed by whoever builds the SSTExecutor — the
+    #: schedulers, the check harness and the service; the backends are
+    #: proven state-identical by the backend-differential campaign.
+    ldbs_backend: str = "memory"
 
 
 class GlobalTransactionManager:

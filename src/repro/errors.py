@@ -109,6 +109,19 @@ class ConstraintViolation(LDBSError):
         super().__init__(message)
 
 
+class BackendError(LDBSError):
+    """A pluggable LDBS backend failed outside the transaction protocol
+    (connection loss, malformed DDL, backend-specific misuse)."""
+
+
+class BackendConflictError(LockError):
+    """A backend transaction lost a serialization conflict and was (or
+    must be) rolled back — the ``TransactionRollbackError`` of the
+    libres design, or SQLite's ``database is locked`` under
+    ``BEGIN IMMEDIATE``.  Transient by definition: the SST executor's
+    bounded retry loop re-runs the whole attempt."""
+
+
 class RecoveryError(LDBSError):
     """The WAL could not be replayed into a consistent state."""
 

@@ -1,0 +1,431 @@
+"""SQLite LDBS backend: WAL mode, manual transactions, read/write split.
+
+This is the first *real database* behind the SST path (ROADMAP open
+item 1).  Design, following ``travel_dbms`` and libres (SNIPPETS.md):
+
+- **Manual transaction control** — connections open with
+  ``isolation_level=None`` so the stdlib driver never issues implicit
+  BEGINs; every transaction boundary in this module is explicit.
+- **WAL journal mode** — committed state lives in the main file + WAL;
+  a crash (simulated here by dropping connections mid-transaction)
+  loses exactly the uncommitted work, nothing else.
+- **Read/write path split** — ``begin(write=True)`` (the SST path)
+  issues ``BEGIN IMMEDIATE``: the writer lock is taken up front, so a
+  losing writer fails *at begin* instead of deadlocking mid-commit.
+  ``begin(write=False)`` issues plain ``BEGIN`` (deferred): a snapshot
+  read at default isolation that never blocks, and never blocks the
+  writer, under WAL.
+- **One connection per transaction** — concurrency between open
+  transactions is real (two ``BEGIN IMMEDIATE`` writers genuinely
+  race), which is what lets the conformance suite pin conflict
+  semantics without threads.
+- **Error mapping into the repro taxonomy** — ``database is locked`` /
+  busy becomes :class:`~repro.errors.BackendConflictError` (retryable,
+  the ``TransactionRollbackError`` analogue); UNIQUE violations become
+  :class:`~repro.errors.StorageError` like the heap's duplicate-key
+  error; CHECK-style constraints are validated in Python *before* the
+  SQL executes, via the same :class:`~repro.ldbs.constraints`
+  machinery the in-memory engine uses, so both backends raise the
+  same :class:`~repro.errors.ConstraintViolation` at the same point.
+
+Values are validated through the :class:`~repro.ldbs.schema` layer on
+the way in and re-canonicalized (BOOL columns round-trip through
+INTEGER) on the way out, so ``dump()`` is byte-comparable with the
+in-memory backend's — the property the backend-differential harness
+enforces over the fuzz corpus.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import tempfile
+from typing import Any, Iterable, Mapping
+
+from repro.errors import (
+    BackendConflictError,
+    BackendError,
+    CatalogError,
+    StorageError,
+    TransactionAborted,
+)
+from repro.ldbs.constraints import CheckConstraint, ConstraintSet
+from repro.ldbs.schema import ColumnType, TableSchema
+
+__all__ = ["SQLiteBackend", "SQLiteTransaction"]
+
+_SQL_TYPES = {
+    ColumnType.INT: "INTEGER",
+    ColumnType.FLOAT: "REAL",
+    ColumnType.TEXT: "TEXT",
+    ColumnType.BOOL: "INTEGER",
+}
+
+#: sqlite3.OperationalError texts that mean "you lost the race, retry".
+_BUSY_MARKERS = ("database is locked", "database is busy",
+                 "database table is locked")
+
+
+def _map_operational(exc: sqlite3.OperationalError) -> Exception:
+    text = str(exc).lower()
+    if any(marker in text for marker in _BUSY_MARKERS):
+        return BackendConflictError(
+            f"sqlite serialization conflict: {exc}")
+    return BackendError(f"sqlite operational error: {exc}")
+
+
+class SQLiteTransaction:
+    """One explicit SQLite transaction on its own connection."""
+
+    def __init__(self, backend: "SQLiteBackend", txn_id: str,
+                 connection: sqlite3.Connection, write: bool) -> None:
+        self._backend = backend
+        self._conn: sqlite3.Connection | None = connection
+        self.txn_id = txn_id
+        self.write = write
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _require_open(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise TransactionAborted(self.txn_id, reason="already finished")
+        return self._conn
+
+    def _execute(self, sql: str, params: tuple = ()) -> sqlite3.Cursor:
+        conn = self._require_open()
+        try:
+            return conn.execute(sql, params)
+        except sqlite3.OperationalError as exc:
+            raise _map_operational(exc) from exc
+        except sqlite3.IntegrityError as exc:
+            raise StorageError(f"sqlite integrity error: {exc}") from exc
+
+    # -- reads (through the open transaction) -------------------------------
+
+    def has_key(self, table: str, key: Any) -> bool:
+        column = self._backend._key_column_required(table)
+        cursor = self._execute(
+            f'SELECT 1 FROM "{table}" WHERE "{column}" = ? LIMIT 1',
+            (key,))
+        return cursor.fetchone() is not None
+
+    def get_row(self, table: str, key: Any) -> dict[str, Any]:
+        schema = self._backend._schema(table)
+        column = self._backend._key_column_required(table)
+        cursor = self._execute(
+            f'SELECT * FROM "{table}" WHERE "{column}" = ?', (key,))
+        raw = cursor.fetchone()
+        if raw is None:
+            raise StorageError(
+                f"table {table!r} has no row with key {key!r}")
+        return self._backend._from_sql(schema, raw)
+
+    # -- writes -------------------------------------------------------------
+
+    def insert(self, table: str, values: Mapping[str, Any]) -> None:
+        schema = self._backend._schema(table)
+        row = schema.validate_row(values)
+        self._backend.constraints.validate(table, row)
+        columns = ", ".join(f'"{name}"' for name in row)
+        slots = ", ".join("?" for _ in row)
+        self._execute(
+            f'INSERT INTO "{table}" ({columns}) VALUES ({slots})',
+            tuple(self._backend._to_sql(value) for value in row.values()))
+
+    def update_by_key(self, table: str, key: Any,
+                      changes: Mapping[str, Any]) -> int:
+        schema = self._backend._schema(table)
+        column = self._backend._key_column_required(table)
+        updated = schema.validate_update(changes)
+        if not updated:
+            return 0
+        # validate the post-image exactly like the eager in-memory
+        # engine: current row (read through this transaction) + changes.
+        current = self.get_row(table, key)
+        current.update(updated)
+        self._backend.constraints.validate(table, current)
+        assignments = ", ".join(f'"{name}" = ?' for name in updated)
+        cursor = self._execute(
+            f'UPDATE "{table}" SET {assignments} WHERE "{column}" = ?',
+            (*(self._backend._to_sql(v) for v in updated.values()), key))
+        return cursor.rowcount
+
+    def delete_by_key(self, table: str, key: Any) -> int:
+        column = self._backend._key_column_required(table)
+        cursor = self._execute(
+            f'DELETE FROM "{table}" WHERE "{column}" = ?', (key,))
+        return cursor.rowcount
+
+    # -- completion ---------------------------------------------------------
+
+    def commit(self) -> None:
+        conn = self._require_open()
+        try:
+            conn.execute("COMMIT")
+        except sqlite3.OperationalError as exc:
+            mapped = _map_operational(exc)
+            if isinstance(mapped, BackendConflictError):
+                conn.execute("ROLLBACK")
+                self._finish(committed=False)
+                raise mapped from exc
+            raise mapped from exc
+        self._finish(committed=True)
+
+    def abort(self) -> None:
+        conn = self._require_open()
+        conn.execute("ROLLBACK")
+        self._finish(committed=False)
+
+    def _finish(self, committed: bool) -> None:
+        conn = self._conn
+        self._conn = None
+        self._backend._transaction_finished(self, conn,
+                                            committed=committed)
+
+    def __enter__(self) -> "SQLiteTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._conn is not None:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+        return False
+
+    def __repr__(self) -> str:
+        state = "open" if self._conn is not None else "finished"
+        mode = "write" if self.write else "read"
+        return f"<SQLiteTransaction {self.txn_id!r} {mode} {state}>"
+
+
+class SQLiteBackend:
+    """The LDBS on SQLite: WAL mode, connection-per-transaction."""
+
+    name = "sqlite"
+
+    def __init__(self, path: str | os.PathLike[str] | None = None,
+                 busy_timeout_ms: int = 0) -> None:
+        if path is None:
+            handle, path = tempfile.mkstemp(prefix="repro-ldbs-",
+                                            suffix=".sqlite")
+            os.close(handle)
+            self._owns_file = True
+        else:
+            self._owns_file = False
+        self.path = str(path)
+        self.busy_timeout_ms = int(busy_timeout_ms)
+        self._schemas: dict[str, TableSchema] = {}
+        self.constraints = ConstraintSet()
+        self._txn_counter = 0
+        self._open: list[SQLiteTransaction] = []
+        self._open_conns: dict[int, sqlite3.Connection] = {}
+        self.commits = 0
+        self.aborts = 0
+        self._closed = False
+        # establish (persistent) WAL mode once, up front.
+        conn = self._connect()
+        try:
+            mode = conn.execute("PRAGMA journal_mode=WAL").fetchone()[0]
+            if mode.lower() != "wal":
+                raise BackendError(
+                    f"could not enable WAL mode on {self.path!r} "
+                    f"(got {mode!r})")
+            conn.execute("PRAGMA synchronous=NORMAL")
+        finally:
+            conn.close()
+
+    # -- connections --------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._closed:
+            raise BackendError(f"backend {self.path!r} is closed")
+        try:
+            conn = sqlite3.connect(self.path, isolation_level=None,
+                                   timeout=self.busy_timeout_ms / 1000.0)
+        except sqlite3.OperationalError as exc:  # pragma: no cover
+            raise BackendError(
+                f"cannot open sqlite database {self.path!r}: {exc}"
+            ) from exc
+        conn.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
+        return conn
+
+    # -- schema / seeding ---------------------------------------------------
+
+    def create_table(self, schema: TableSchema,
+                     constraints: Iterable[CheckConstraint] = ()) -> None:
+        if schema.name in self._schemas:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        columns = []
+        for column in schema.columns:
+            sql = f'"{column.name}" {_SQL_TYPES[column.type]}'
+            if not column.nullable and column.name != schema.primary_key:
+                sql += " NOT NULL"
+            columns.append(sql)
+        if schema.primary_key is not None:
+            columns.append(f'PRIMARY KEY ("{schema.primary_key}")')
+        ddl = f'CREATE TABLE "{schema.name}" ({", ".join(columns)})'
+        conn = self._connect()
+        try:
+            conn.execute(ddl)
+        except sqlite3.OperationalError as exc:
+            raise _map_operational(exc) from exc
+        finally:
+            conn.close()
+        self._schemas[schema.name] = schema
+        for constraint in constraints:
+            self.add_constraint(constraint)
+
+    def add_constraint(self, constraint: CheckConstraint) -> None:
+        if constraint.table not in self._schemas:
+            raise CatalogError(
+                f"constraint targets unknown table {constraint.table!r}")
+        self.constraints.add(constraint)
+
+    def seed(self, table: str, rows: Iterable[Mapping[str, Any]]) -> None:
+        with self.begin(write=True) as txn:
+            for values in rows:
+                txn.insert(table, values)
+
+    # -- transactions -------------------------------------------------------
+
+    def begin(self, txn_id: str | None = None, *,
+              write: bool = False) -> SQLiteTransaction:
+        self._txn_counter += 1
+        if txn_id is None:
+            txn_id = f"sqlite-{self._txn_counter}"
+        conn = self._connect()
+        try:
+            conn.execute("BEGIN IMMEDIATE" if write else "BEGIN")
+        except sqlite3.OperationalError as exc:
+            conn.close()
+            raise _map_operational(exc) from exc
+        txn = SQLiteTransaction(self, txn_id, conn, write=write)
+        self._open.append(txn)
+        self._open_conns[id(txn)] = conn
+        return txn
+
+    def _transaction_finished(self, txn: SQLiteTransaction,
+                              conn: sqlite3.Connection | None,
+                              committed: bool) -> None:
+        if txn in self._open:
+            self._open.remove(txn)
+        self._open_conns.pop(id(txn), None)
+        if conn is not None:
+            conn.close()
+        if committed:
+            self.commits += 1
+        else:
+            self.aborts += 1
+
+    def open_transactions(self) -> tuple[str, ...]:
+        return tuple(txn.txn_id for txn in self._open)
+
+    # -- catalog introspection ----------------------------------------------
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._schemas)
+
+    def _schema(self, table: str) -> TableSchema:
+        try:
+            return self._schemas[table]
+        except KeyError:
+            raise CatalogError(f"table {table!r} does not exist") from None
+
+    def key_column(self, table: str) -> str | None:
+        return self._schema(table).primary_key
+
+    def _key_column_required(self, table: str) -> str:
+        column = self.key_column(table)
+        if column is None:
+            raise BackendError(
+                f"table {table!r} has no primary key; key-oriented "
+                f"backend operations need one")
+        return column
+
+    # -- value canonicalization ---------------------------------------------
+
+    @staticmethod
+    def _to_sql(value: Any) -> Any:
+        if isinstance(value, bool):
+            return int(value)
+        return value
+
+    @staticmethod
+    def _from_sql(schema: TableSchema, raw: tuple) -> dict[str, Any]:
+        row: dict[str, Any] = {}
+        for column, value in zip(schema.columns, raw):
+            if value is not None and column.type is ColumnType.BOOL:
+                value = bool(value)
+            row[column.name] = value
+        return row
+
+    # -- state / lifecycle --------------------------------------------------
+
+    def dump(self) -> dict[str, dict[Any, dict[str, Any]]]:
+        """Committed permanent state, canonically ordered by key.
+
+        Read on a fresh snapshot connection, so open transactions'
+        uncommitted work is invisible — exactly the in-memory backend's
+        committed-heap dump.
+        """
+        state: dict[str, dict[Any, dict[str, Any]]] = {}
+        conn = self._connect()
+        try:
+            for name, schema in self._schemas.items():
+                cursor = conn.execute(f'SELECT * FROM "{name}"')
+                rows = [self._from_sql(schema, raw)
+                        for raw in cursor.fetchall()]
+                column = schema.primary_key
+                if column is not None:
+                    rows.sort(key=lambda row: repr(row[column]))
+                    state[name] = {row[column]: row for row in rows}
+                else:
+                    state[name] = {index: row
+                                   for index, row in enumerate(rows, 1)}
+        finally:
+            conn.close()
+        return state
+
+    def crash(self) -> tuple[str, ...]:
+        """Simulate a crash: drop every open connection mid-transaction.
+
+        SQLite's WAL recovery then does the real work on the next
+        connection: committed transactions survive, uncommitted ones
+        vanish.  Returns the ids of the transactions that were lost.
+        """
+        lost = []
+        for txn in list(self._open):
+            conn = self._open_conns.pop(id(txn), None)
+            if conn is not None:
+                # a hard close without COMMIT == the process dying.
+                conn.close()
+            txn._conn = None
+            lost.append(txn.txn_id)
+            self.aborts += 1
+        self._open.clear()
+        return tuple(lost)
+
+    def close(self) -> None:
+        """Release every connection and (for owned temp files) the file."""
+        if self._closed:
+            return
+        self.crash()
+        self._closed = True
+        if self._owns_file:
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    os.unlink(self.path + suffix)
+                except OSError:
+                    pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (f"<SQLiteBackend {self.path!r} "
+                f"tables={sorted(self._schemas)} "
+                f"commits={self.commits} aborts={self.aborts}>")

@@ -40,6 +40,8 @@ from repro.core.opclass import Invocation
 from repro.core.sst import SSTExecutor
 from repro.core.states import TransactionState
 from repro.core.transaction import GTMTransaction
+from repro.ldbs.backend import LDBSBackend, create_backend
+from repro.ldbs.schema import Column, ColumnType, TableSchema
 from repro.metrics.collectors import MetricsCollector, TimelineObserver
 from repro.obs import build_observability
 from repro.schedulers.base import (
@@ -56,6 +58,38 @@ from repro.sim.process import Process, Signal, Timeout, WaitEvent
 from repro.workload.spec import TransactionProfile, Workload
 
 
+def bind_workload_backend(backend: LDBSBackend,
+                          workload: Workload) -> dict[str, ObjectBinding]:
+    """Give every workload object a real LDBS home on ``backend``.
+
+    One table per object (table name = object name), an ``id`` INT
+    primary key holding the single row ``id=1``, and one nullable FLOAT
+    column per member (reconciled GTM values are floats).  Tables are
+    created and seeded with the workload's initial values; the returned
+    bindings map each object onto its row for the SST executor.
+    """
+    bindings: dict[str, ObjectBinding] = {}
+    spec: dict[str, dict[str, Any]] = {}
+    for name, value in workload.initial_values.items():
+        spec[name] = {"value": value}
+    for name, members in workload.initial_members.items():
+        spec[name] = dict(members)
+    for name, members in spec.items():
+        columns = [Column("id", ColumnType.INT)]
+        columns.extend(Column(member, ColumnType.FLOAT, nullable=True)
+                       for member in members)
+        backend.create_table(TableSchema(name, tuple(columns),
+                                         primary_key="id"))
+        row: dict[str, Any] = {"id": 1}
+        row.update({member: float(value)
+                    for member, value in members.items()})
+        backend.seed(name, [row])
+        bindings[name] = ObjectBinding(
+            table=name, key=1,
+            member_columns={member: member for member in members})
+    return bindings
+
+
 @dataclass
 class GTMSchedulerConfig:
     """Scheduler-level knobs (the protocol knobs live in GTMConfig)."""
@@ -68,6 +102,12 @@ class GTMSchedulerConfig:
     sst_executor: SSTExecutor | None = None
     #: Bindings applied to created objects (object name -> binding).
     bindings: dict[str, ObjectBinding] = field(default_factory=dict)
+    #: When true (and no explicit ``sst_executor`` was given), build an
+    #: LDBS backend named by ``gtm_config.ldbs_backend``, auto-bind
+    #: every workload object onto it (:func:`bind_workload_backend`)
+    #: and execute SSTs against it.  The backend of the most recent run
+    #: is exposed as :attr:`GTMScheduler.last_backend`.
+    bind_ldbs: bool = False
     #: Observability: an :class:`~repro.obs.ObsConfig`, ``True`` for
     #: everything on, or ``None``/``False`` for off.  Recording rides
     #: the event bus read-only, so enabling it cannot change grant
@@ -122,15 +162,29 @@ class GTMScheduler(Scheduler):
         #: the GTM of the most recent run (for post-run inspection,
         #: e.g. repro.core.history.check_serializable).
         self.last_gtm: GlobalTransactionManager | None = None
+        #: the auto-built LDBS backend of the most recent run (only set
+        #: when ``bind_ldbs`` built one; its ``dump()`` is the SST-side
+        #: permanent state the backend-differential harness compares).
+        self.last_backend: LDBSBackend | None = None
 
     def run(self, workload: Workload) -> SchedulerResult:
         engine = SimulationEngine()
         collector = MetricsCollector()
         observer = _SignallingObserver(engine)
+        sst_executor = self.config.sst_executor
+        bindings = dict(self.config.bindings)
+        self.last_backend = None
+        if sst_executor is None and self.config.bind_ldbs:
+            backend = create_backend(self.config.gtm_config.ldbs_backend)
+            auto = bind_workload_backend(backend, workload)
+            auto.update(bindings)
+            bindings = auto
+            sst_executor = SSTExecutor(backend)
+            self.last_backend = backend
         gtm = GlobalTransactionManager(
             config=self.config.gtm_config,
             clock=lambda: engine.now,
-            sst_executor=self.config.sst_executor,
+            sst_executor=sst_executor,
             observer=observer,
         )
         gtm.subscribe(TimelineObserver(collector))
@@ -139,10 +193,10 @@ class GTMScheduler(Scheduler):
             obs.attach(gtm)
         for name, value in workload.initial_values.items():
             gtm.create_object(name, value=value,
-                              binding=self.config.bindings.get(name))
+                              binding=bindings.get(name))
         for name, members in workload.initial_members.items():
             gtm.create_object(name, members=dict(members),
-                              binding=self.config.bindings.get(name))
+                              binding=bindings.get(name))
         self.last_gtm = gtm
         for profile in workload:
             body = self._client(profile, gtm, observer)
@@ -153,10 +207,10 @@ class GTMScheduler(Scheduler):
                         for name, obj in gtm.objects.items()
                         if "value" in obj.permanent}
         extra = {
-            "sst_executions": (self.config.sst_executor.executed
-                               if self.config.sst_executor else 0),
-            "sst_failures": (self.config.sst_executor.failed
-                             if self.config.sst_executor else 0),
+            "sst_executions": (sst_executor.executed
+                               if sst_executor else 0),
+            "sst_failures": (sst_executor.failed
+                             if sst_executor else 0),
             "events_dispatched": engine.events_dispatched,
         }
         result = self._result(collector, makespan, final_values, extra)

@@ -14,6 +14,7 @@ import contextlib
 import sys
 
 from repro.driver.asyncio_driver import AsyncioDriver
+from repro.ldbs.backend import backend_names
 from repro.service.core import GTMService, ServiceConfig
 from repro.service.server import ServiceServer
 
@@ -21,13 +22,16 @@ from repro.service.server import ServiceServer
 async def _serve(args: argparse.Namespace) -> int:
     driver = AsyncioDriver()
     service = GTMService(driver, config=ServiceConfig(
-        bto_timeout=args.bto_timeout))
+        bto_timeout=args.bto_timeout,
+        ldbs_backend=args.backend))
     for index in range(args.objects):
         service.create_object(f"o{index:05d}", value=args.initial_value)
     server = ServiceServer(service)
     host, port = await server.start_tcp(args.host, args.port)
+    backend = args.backend or "none (virtual objects)"
     print(f"gtm service listening on {host}:{port} "
-          f"({args.objects} objects, bto={args.bto_timeout}s)",
+          f"({args.objects} objects, bto={args.bto_timeout}s, "
+          f"ldbs backend: {backend})",
           flush=True)
     stop = asyncio.Event()
     loop = asyncio.get_event_loop()
@@ -52,6 +56,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--initial-value", type=int, default=1)
     parser.add_argument("--bto-timeout", type=float, default=60.0,
                         help="seconds a disconnected session may sleep")
+    parser.add_argument("--backend", choices=backend_names(),
+                        default=None,
+                        help="run commits as real SSTs against this "
+                             "LDBS backend (default: virtual objects, "
+                             "no SSTs)")
     args = parser.parse_args(argv)
     return asyncio.run(_serve(args))
 

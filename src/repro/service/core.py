@@ -32,13 +32,23 @@ from repro.errors import (
 )
 from repro.core.events import GTMObserver
 from repro.core.gtm import GlobalTransactionManager, GrantOutcome
+from repro.core.objects import ObjectBinding
 from repro.core.opclass import OperationClass
+from repro.core.sst import SSTExecutor
 from repro.core.states import TransactionState
+from repro.ldbs.backend import LDBSBackend, create_backend
+from repro.ldbs.schema import Column, ColumnType, TableSchema
 from repro.obs.registry import MetricsRegistry
 from repro.service.protocol import build_invocation, error_frame
 from repro.service.session import Session, SessionState, SessionStore
 
 _TS = TransactionState
+
+#: Shared LDBS home for service-managed objects: one row per object,
+#: keyed by the (TEXT) object name.  Service objects arrive over the
+#: wire, so their names need not be SQL identifiers — a per-object
+#: table (the scheduler scheme) would reject them.
+_OBJECTS_TABLE = "gtm_objects"
 
 
 @dataclass
@@ -60,6 +70,13 @@ class ServiceConfig:
     #: outcome is delivered (keeps a long-lived service's memory flat;
     #: the operation log — what the oracle replays — is untouched).
     retire_finished: bool = False
+    #: LDBS backend name (see :func:`repro.ldbs.backend_names`).  When
+    #: set — and no explicit ``gtm`` is passed to the service — commits
+    #: run real SSTs against that backend: value-only objects are bound
+    #: to rows of the shared ``gtm_objects`` table (objects with custom
+    #: members, or non-numeric values, stay virtual: their commits run
+    #: no SST).  None keeps the whole service virtual.
+    ldbs_backend: str | None = None
 
 
 class _ServiceObserver(GTMObserver):
@@ -86,6 +103,17 @@ class GTMService:
                  config: ServiceConfig | None = None) -> None:
         self.driver = driver
         self.config = config or ServiceConfig()
+        self.backend: LDBSBackend | None = None
+        if gtm is None and self.config.ldbs_backend is not None:
+            self.backend = create_backend(self.config.ldbs_backend)
+            self.backend.create_table(TableSchema(
+                _OBJECTS_TABLE,
+                (Column("name", ColumnType.TEXT),
+                 Column("value", ColumnType.FLOAT, nullable=True)),
+                primary_key="name"))
+            gtm = GlobalTransactionManager(
+                clock=driver.clock,
+                sst_executor=SSTExecutor(self.backend))
         self.gtm = gtm or GlobalTransactionManager(clock=driver.clock)
         self.gtm.subscribe(_ServiceObserver(self))
         self.sessions = SessionStore()
@@ -114,7 +142,28 @@ class GTMService:
     def create_object(self, name: str, value: Any = 0,
                       members: dict[str, Any] | None = None) -> None:
         """Register a managed object before (or while) serving."""
-        self.gtm.create_object(name, value=value, members=members)
+        binding = None
+        if members is None:
+            binding = self._bind_object(name, value, exists=True)
+        self.gtm.create_object(name, value=value, members=members,
+                               binding=binding)
+
+    def _bind_object(self, name: str, value: Any,
+                     exists: bool) -> ObjectBinding | None:
+        """LDBS row binding for a value-only object (None = virtual).
+
+        Existing objects get their row seeded; INSERT shells get the
+        binding only — the committed SST inserts the row.
+        """
+        if self.backend is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None  # non-numeric objects stay virtual
+        if exists:
+            self.backend.seed(_OBJECTS_TABLE,
+                              [{"name": name, "value": float(value)}])
+        return ObjectBinding(table=_OBJECTS_TABLE, key=name,
+                             member_columns={"value": "value"})
 
     def _ensure_object(self, name: Any, op_class: OperationClass) -> str:
         if not isinstance(name, str) or not name:
@@ -124,7 +173,9 @@ class GTMService:
                 raise GTMError(f"unknown object {name!r}")
             # INSERT expects a shell it can bring into existence.
             exists = op_class is not OperationClass.INSERT
-            self.gtm.create_object(name, value=0, exists=exists)
+            binding = self._bind_object(name, 0, exists=exists)
+            self.gtm.create_object(name, value=0, exists=exists,
+                                   binding=binding)
         return name
 
     # ------------------------------------------------------------------
@@ -242,6 +293,8 @@ class GTMService:
                 continue  # let the pump finish staged commits
             self.gtm.abort(txn_id, reason="shutdown")
         self._pump()
+        if self.backend is not None:
+            self.backend.close()
 
     # ------------------------------------------------------------------
     # frame dispatch

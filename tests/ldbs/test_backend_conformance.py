@@ -1,0 +1,246 @@
+"""Backend conformance: the guarantees both LDBS backends share.
+
+Every test in :class:`TestConformance` runs against the in-memory
+strict-2PL engine AND the SQLite WAL backend through the narrow
+:class:`~repro.ldbs.backend.BackendTransaction` dialect — atomicity,
+abort semantics, crash/WAL recovery, write-write conflict mapping into
+the :class:`~repro.errors.LockError` taxonomy, read-your-own-writes
+upsert probes, and canonical ``dump()`` parity.  SQLite-specific
+behaviour (the deferred read path not blocking the serialized write
+path, conflict-at-begin) lives in :class:`TestSQLiteSpecific`.
+"""
+
+import pytest
+
+from repro.errors import (
+    BackendConflictError,
+    BackendError,
+    ConstraintViolation,
+    LockError,
+    StorageError,
+)
+from repro.ldbs.backend import (
+    LDBSBackend,
+    MemoryBackend,
+    backend_names,
+    create_backend,
+)
+from repro.ldbs.constraints import NonNegative
+from repro.ldbs.schema import Column, ColumnType, TableSchema
+from repro.ldbs.sqlite_backend import SQLiteBackend
+
+BACKENDS = backend_names()
+
+
+def make_backend(name: str) -> LDBSBackend:
+    backend = create_backend(name)
+    backend.create_table(
+        TableSchema("obj",
+                    (Column("id", ColumnType.INT),
+                     Column("value", ColumnType.FLOAT, nullable=True),
+                     Column("label", ColumnType.TEXT, nullable=True),
+                     Column("flag", ColumnType.BOOL, nullable=True)),
+                    primary_key="id"),
+        constraints=[NonNegative("obj", "value")])
+    backend.seed("obj", [{"id": 1, "value": 10.0, "label": "a",
+                          "flag": True}])
+    return backend
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    built = make_backend(request.param)
+    yield built
+    built.close()
+
+
+class TestConformance:
+    def test_registry_and_catalog(self, backend):
+        assert backend.name in BACKENDS
+        assert backend.table_names() == ("obj",)
+        assert backend.key_column("obj") == "id"
+
+    def test_commit_persists(self, backend):
+        with backend.begin("T1", write=True) as txn:
+            assert txn.update_by_key("obj", 1, {"value": 3.0}) == 1
+        assert backend.dump()["obj"][1]["value"] == 3.0
+
+    def test_abort_rolls_back(self, backend):
+        txn = backend.begin("T1", write=True)
+        txn.update_by_key("obj", 1, {"value": 3.0})
+        txn.insert("obj", {"id": 2, "value": 1.0})
+        txn.abort()
+        assert backend.dump()["obj"] == {
+            1: {"id": 1, "value": 10.0, "label": "a", "flag": True}}
+
+    def test_context_manager_exception_aborts(self, backend):
+        with pytest.raises(RuntimeError):
+            with backend.begin("T1", write=True) as txn:
+                txn.update_by_key("obj", 1, {"value": 3.0})
+                raise RuntimeError("client bug")
+        assert backend.dump()["obj"][1]["value"] == 10.0
+
+    def test_read_your_own_writes_has_key(self, backend):
+        with backend.begin("T1", write=True) as txn:
+            assert not txn.has_key("obj", 7)
+            txn.insert("obj", {"id": 7, "value": 0.0})
+            # the probe answers through the open transaction
+            assert txn.has_key("obj", 7)
+            assert txn.get_row("obj", 7)["value"] == 0.0
+            txn.abort()
+        with backend.begin("T2") as probe:
+            assert not probe.has_key("obj", 7)
+
+    def test_update_then_read_back(self, backend):
+        with backend.begin("T1", write=True) as txn:
+            txn.update_by_key("obj", 1, {"value": 4.5, "label": "b"})
+            row = txn.get_row("obj", 1)
+            assert row["value"] == 4.5
+            assert row["label"] == "b"
+            txn.abort()
+
+    def test_delete_by_key(self, backend):
+        with backend.begin("T1", write=True) as txn:
+            assert txn.delete_by_key("obj", 1) == 1
+            assert not txn.has_key("obj", 1)
+        assert backend.dump()["obj"] == {}
+
+    def test_missing_row_raises_storage_error(self, backend):
+        with backend.begin("T1") as txn:
+            with pytest.raises(StorageError):
+                txn.get_row("obj", 99)
+            txn.abort()
+
+    def test_duplicate_insert_raises_storage_error(self, backend):
+        with backend.begin("T1", write=True) as txn:
+            with pytest.raises(StorageError):
+                txn.insert("obj", {"id": 1, "value": 0.0})
+            txn.abort()
+
+    def test_constraint_violation_maps_identically(self, backend):
+        # Python-side CheckConstraints run on both backends, so the
+        # SST executor sees the same ConstraintViolation either way.
+        with backend.begin("T1", write=True) as txn:
+            with pytest.raises(ConstraintViolation):
+                txn.update_by_key("obj", 1, {"value": -1.0})
+            txn.abort()
+
+    def test_write_write_conflict_is_lock_error(self, backend):
+        """Two serialized writers on one row: the loser's error is in
+        the LockError taxonomy on every backend (BackendConflictError
+        for SQLite's busy begin, plain LockError for strict-2PL
+        nowait) — either way the SST retry loop can classify it."""
+        holder = backend.begin("W1", write=True)
+        holder.update_by_key("obj", 1, {"value": 1.0})
+        with pytest.raises(LockError):
+            loser = backend.begin("W2", write=True)
+            loser.update_by_key("obj", 1, {"value": 2.0})
+        holder.commit()
+        assert backend.dump()["obj"][1]["value"] == 1.0
+
+    def test_crash_recovers_committed_state_only(self, backend):
+        with backend.begin("T1", write=True) as txn:
+            txn.update_by_key("obj", 1, {"value": 5.0})
+        open_txn = backend.begin("T2", write=True)
+        open_txn.insert("obj", {"id": 2, "value": 0.0})
+        backend.crash()
+        # the open transaction's work is gone, the commit survived
+        assert backend.dump()["obj"] == {
+            1: {"id": 1, "value": 5.0, "label": "a", "flag": True}}
+        # and the backend is usable again after recovery
+        with backend.begin("T3", write=True) as txn:
+            txn.update_by_key("obj", 1, {"value": 6.0})
+        assert backend.dump()["obj"][1]["value"] == 6.0
+
+    def test_bool_and_null_round_trip(self, backend):
+        with backend.begin("T1", write=True) as txn:
+            txn.insert("obj", {"id": 2, "value": None, "label": None,
+                               "flag": False})
+        row = backend.dump()["obj"][2]
+        assert row == {"id": 2, "value": None, "label": None,
+                       "flag": False}
+        assert row["flag"] is False  # BOOL survives the INTEGER column
+
+
+class TestDumpParity:
+    def test_same_script_same_dump(self):
+        """One mixed script replayed on each backend yields the exact
+        same canonical dump — the invariant the differential harness
+        leans on."""
+        dumps = []
+        for name in BACKENDS:
+            backend = make_backend(name)
+            try:
+                with backend.begin("S1", write=True) as txn:
+                    txn.update_by_key("obj", 1, {"value": 2.5})
+                    txn.insert("obj", {"id": 3, "value": 7.0,
+                                       "label": "c", "flag": False})
+                with backend.begin("S2", write=True) as txn:
+                    txn.delete_by_key("obj", 3)
+                    txn.insert("obj", {"id": 4, "value": None,
+                                       "label": None, "flag": None})
+                txn = backend.begin("S3", write=True)
+                txn.update_by_key("obj", 1, {"value": -0.0})
+                txn.abort()
+                dumps.append(backend.dump())
+            finally:
+                backend.close()
+        assert dumps[0] == dumps[1]
+        assert list(dumps[0]["obj"]) == [1, 4]
+
+
+class TestSQLiteSpecific:
+    @pytest.fixture()
+    def sqlite(self):
+        backend = make_backend("sqlite")
+        yield backend
+        backend.close()
+
+    def test_busy_begin_raises_backend_conflict(self, sqlite):
+        holder = sqlite.begin("W1", write=True)
+        with pytest.raises(BackendConflictError):
+            sqlite.begin("W2", write=True)
+        holder.abort()
+        # the writer slot is free again
+        with sqlite.begin("W3", write=True) as txn:
+            txn.update_by_key("obj", 1, {"value": 1.0})
+
+    def test_read_path_does_not_block_the_writer(self, sqlite):
+        """libres' split: reads take default isolation (a WAL
+        snapshot), so a long read never holds up the serialized write
+        path — and keeps its snapshot while the writer commits."""
+        reader = sqlite.begin("R", write=False)
+        assert reader.get_row("obj", 1)["value"] == 10.0
+        with sqlite.begin("W", write=True) as txn:
+            txn.update_by_key("obj", 1, {"value": 99.0})
+        # the writer committed underneath the reader...
+        assert reader.get_row("obj", 1)["value"] == 10.0
+        reader.commit()
+        # ...and a fresh read sees the new state
+        with sqlite.begin("R2") as probe:
+            assert probe.get_row("obj", 1)["value"] == 99.0
+
+    def test_explicit_path_and_wal_mode(self, tmp_path):
+        target = tmp_path / "ldbs.sqlite3"
+        backend = SQLiteBackend(path=str(target))
+        try:
+            backend.create_table(TableSchema(
+                "t", (Column("id", ColumnType.INT),), primary_key="id"))
+            backend.seed("t", [{"id": 1}])
+            assert target.exists()
+            assert backend.dump() == {"t": {1: {"id": 1}}}
+        finally:
+            backend.close()
+        # close() keeps a caller-owned file
+        assert target.exists()
+
+    def test_unknown_backend_name_rejected(self):
+        with pytest.raises(BackendError):
+            create_backend("postgres")
+
+    def test_memory_backend_wraps_existing_database(self):
+        from repro.ldbs.engine import Database
+        db = Database()
+        backend = MemoryBackend(db)
+        assert backend.database is db
+        assert isinstance(backend, LDBSBackend)

@@ -1,0 +1,111 @@
+"""Service-layer LDBS wiring: commits run real SSTs when configured.
+
+``ServiceConfig.ldbs_backend`` gives the live service the same backend
+seam the schedulers use: value-only objects become rows of the shared
+``gtm_objects`` table (TEXT-keyed, so wire names need not be SQL
+identifiers), commits run SSTs against the chosen backend, and both
+backends leave byte-identical committed state behind the same frame
+script.
+"""
+
+import pytest
+
+from repro.ldbs.backend import backend_names
+from repro.service import GTMService, ServiceConfig
+from repro.sim.engine import SimulationEngine
+
+
+def make_service(backend_name):
+    service = GTMService(SimulationEngine(), config=ServiceConfig(
+        bto_timeout=60.0, ldbs_backend=backend_name))
+    frames = []
+    session = service.connect({"type": "hello", "id": 1}, frames.append)
+    return service, session, frames
+
+
+@pytest.fixture(params=backend_names())
+def served(request):
+    service, session, frames = make_service(request.param)
+    yield service, session, frames
+    service.shutdown()
+
+
+class TestServiceBackend:
+    def test_virtual_by_default(self):
+        service = GTMService(SimulationEngine())
+        assert service.backend is None
+        assert service.gtm.sst_executor is None
+
+    def test_commit_lands_in_the_backend(self, served):
+        service, session, frames = served
+        service.create_object("pre", value=5)
+        service.handle(session, {"type": "begin", "id": 2})
+        txn = frames[-1]["txn"]
+        service.handle(session, {"type": "op", "id": 3, "txn": txn,
+                                 "op": "add", "object": "pre",
+                                 "operand": 4})
+        assert frames[-1]["type"] == "granted"
+        service.handle(session, {"type": "commit", "id": 4, "txn": txn})
+        assert frames[-1]["type"] == "committed"
+        assert service.backend.dump()["gtm_objects"]["pre"] == {
+            "name": "pre", "value": 9.0}
+
+    def test_auto_created_object_gets_a_row(self, served):
+        service, session, frames = served
+        service.handle(session, {"type": "begin", "id": 2})
+        txn = frames[-1]["txn"]
+        # wire names need not be SQL identifiers
+        service.handle(session, {"type": "op", "id": 3, "txn": txn,
+                                 "op": "add", "object": "cart:7!",
+                                 "operand": 2})
+        service.handle(session, {"type": "commit", "id": 4, "txn": txn})
+        assert frames[-1]["type"] == "committed"
+        assert service.backend.dump()["gtm_objects"]["cart:7!"] == {
+            "name": "cart:7!", "value": 2.0}
+
+    def test_abort_leaves_no_trace(self, served):
+        service, session, frames = served
+        service.create_object("pre", value=5)
+        before = service.backend.dump()
+        service.handle(session, {"type": "begin", "id": 2})
+        txn = frames[-1]["txn"]
+        service.handle(session, {"type": "op", "id": 3, "txn": txn,
+                                 "op": "add", "object": "pre",
+                                 "operand": 100})
+        service.handle(session, {"type": "abort", "id": 4, "txn": txn})
+        assert frames[-1]["type"] == "aborted"
+        assert service.backend.dump() == before
+
+    def test_member_objects_stay_virtual(self, served):
+        service, session, frames = served
+        service.create_object("multi", value=None,
+                              members={"a": 1, "b": 2})
+        assert service.gtm.object("multi").binding is None
+        service.handle(session, {"type": "begin", "id": 2})
+        txn = frames[-1]["txn"]
+        service.handle(session, {"type": "op", "id": 3, "txn": txn,
+                                 "op": "add", "object": "multi",
+                                 "member": "a", "operand": 10})
+        service.handle(session, {"type": "commit", "id": 4, "txn": txn})
+        assert frames[-1]["type"] == "committed"
+        assert service.gtm.object("multi").permanent_value("a") == 11
+        assert "multi" not in service.backend.dump()["gtm_objects"]
+
+    def test_backends_agree_on_the_same_script(self):
+        dumps = {}
+        for name in backend_names():
+            service, session, frames = make_service(name)
+            service.create_object("pre", value=5)
+            service.handle(session, {"type": "begin", "id": 2})
+            txn = frames[-1]["txn"]
+            for fid, obj in ((3, "pre"), (4, "auto")):
+                service.handle(session, {"type": "op", "id": fid,
+                                         "txn": txn, "op": "add",
+                                         "object": obj, "operand": 2})
+            service.handle(session, {"type": "commit", "id": 5,
+                                     "txn": txn})
+            assert frames[-1]["type"] == "committed"
+            dumps[name] = service.backend.dump()
+            service.shutdown()
+        assert dumps["memory"] == dumps["sqlite"]
+        assert dumps["sqlite"]["gtm_objects"]["pre"]["value"] == 7.0
