@@ -67,6 +67,9 @@ GTM_VARIANTS: tuple[tuple[str, dict[str, Any]], ...] = (
     ("reference", {"conflict_engine": "reference", "lock_shards": 1}),
     ("bitmask", {"conflict_engine": "bitmask", "lock_shards": 1}),
     ("bitmask-8shard", {"conflict_engine": "bitmask", "lock_shards": 8}),
+    # the numpy kernel; degrades to bitmask when numpy is absent, in
+    # which case this row still proves run-to-run determinism.
+    ("vector", {"conflict_engine": "vector", "lock_shards": 1}),
 )
 
 #: (label, GTMConfig overrides) for each LDBS backend under comparison

@@ -32,6 +32,29 @@ from repro.core.transaction import GTMTransaction
 _TS = TransactionState
 
 
+class _SweepScratch:
+    """Holder/conflict state shared across one re-police sweep.
+
+    Valid only while ``epoch`` matches the object's ``lock_epoch``; a
+    mid-sweep abort bumps the epoch and forces a rebuild.
+    """
+
+    __slots__ = ("epoch", "holders", "memo", "queue_pos", "ahead")
+
+    def __init__(self) -> None:
+        self.epoch = -1
+        #: txn -> its granted/committing ops (non-sleeping holders).
+        self.holders: Mapping[str, tuple[Invocation, ...]] = {}
+        #: (op-class bit, member) -> conflicting holder tuple.
+        self.memo: dict[tuple[int, str], tuple[str, ...]] = {}
+        #: txn -> its (first) position in the wait queue.
+        self.queue_pos: dict[str, int] = {}
+        #: (op-class bit, member) -> ((position, txn), ...) of queue
+        #: entries whose queued invocation conflicts with that shape.
+        self.ahead: dict[tuple[int, str],
+                         tuple[tuple[int, str], ...]] = {}
+
+
 class GrantOutcome:
     """Result of an ⟨op, X, A⟩ invocation."""
 
@@ -166,6 +189,11 @@ class AdmissionController:
         self._transactions = transactions
         self._clock = clock
         self._abort_txn = abort_txn
+        #: tick-batched re-policing state: objects dirtied by ⟨unlock,X⟩
+        #: while a facade tick is open, swept once at ``end_tick``.
+        self._repolice_queue: list[ManagedObject] = []
+        self._tick_depth = 0
+        self._flushing = False
 
     # ------------------------------------------------------------------
     # Algorithm 2 — ⟨op, X, A⟩
@@ -197,7 +225,7 @@ class AdmissionController:
         txn.record_wait(obj.name, now)
         txn.operations.setdefault(obj.name, {})[invocation.member] = \
             invocation
-        obj.push_waiting(WaitEntry(txn.txn_id, invocation, arrival=now))
+        obj.push_waiting(WaitEntry.acquire(txn.txn_id, invocation, now))
         if not obj.is_pending(txn.txn_id):
             txn.clear_temp(obj.name)  # A_temp^X = ⊥ (no grant held)
         self.bus.on_wait(txn, obj, invocation, now)
@@ -260,7 +288,9 @@ class AdmissionController:
             if self.checker.conflicts_with_any(invocation, ops))
 
     def _queue_blockers(self, obj: ManagedObject, txn_id: str,
-                        invocation: Invocation) -> tuple[str, ...]:
+                        invocation: Invocation,
+                        scratch: "_SweepScratch | None" = None,
+                        ) -> tuple[str, ...]:
         """Everything that stalls this waiter: the wait-for edge set.
 
         Under the grant policy's conflict-respecting overtaking a queued
@@ -268,15 +298,62 @@ class AdmissionController:
         (b) conflicting waiters queued ahead of it, so both kinds become
         wait-for edges — a cycle through a queue position is as much a
         deadlock as one through a held member.
+
+        ``scratch`` (the re-police path) shares the holder lock-set and
+        the per-(class, member) conflict result across every waiter of
+        one sweep: conflicts are class/member-level, so all waiters with
+        the same invocation shape see the same conflicting holders.
         """
-        blockers = list(self.conflicting_holders(obj, txn_id, invocation))
-        for entry in obj.waiting:
-            if entry.txn_id == txn_id:
+        if scratch is None:
+            blockers = list(
+                self.conflicting_holders(obj, txn_id, invocation))
+            for entry in obj.waiting:
+                if entry.txn_id == txn_id:
+                    break
+                if entry.txn_id in obj.sleeping \
+                        or entry.txn_id in blockers:
+                    continue
+                if self.checker.in_conflict(invocation, entry.invocation):
+                    blockers.append(entry.txn_id)
+            return tuple(blockers)
+        if scratch.epoch != obj.lock_epoch:
+            # a mid-sweep abort moved the lock state: rebuild.
+            scratch.holders = obj.holder_ops(include_sleeping=False)
+            scratch.memo = {}
+            scratch.queue_pos = {}
+            for i, entry in enumerate(obj.waiting):
+                scratch.queue_pos.setdefault(entry.txn_id, i)
+            scratch.ahead = {}
+            scratch.epoch = obj.lock_epoch
+        key = (invocation.op_class.bit, invocation.member)
+        conflicting = scratch.memo.get(key)
+        if conflicting is None:
+            checker = self.checker
+            conflicting = tuple(
+                holder for holder, ops in scratch.holders.items()
+                if checker.conflicts_with_any(invocation, ops))
+            scratch.memo[key] = conflicting
+        blockers = [h for h in conflicting if h != txn_id]
+        ahead = scratch.ahead.get(key)
+        if ahead is None:
+            checker = self.checker
+            ahead = tuple(
+                (i, entry.txn_id)
+                for i, entry in enumerate(obj.waiting)
+                if checker.in_conflict(invocation, entry.invocation))
+            scratch.ahead[key] = ahead
+        # a waiter no longer queued (granted mid-police) keeps the old
+        # semantics: the whole queue counts as "ahead" of it.
+        limit = scratch.queue_pos.get(txn_id)
+        if limit is None:
+            limit = len(obj.waiting)
+        sleeping = obj.sleeping
+        for i, waiter_id in ahead:
+            if i >= limit:
                 break
-            if entry.txn_id in obj.sleeping or entry.txn_id in blockers:
+            if waiter_id in sleeping or waiter_id in blockers:
                 continue
-            if self.checker.in_conflict(invocation, entry.invocation):
-                blockers.append(entry.txn_id)
+            blockers.append(waiter_id)
         return tuple(blockers)
 
     # ------------------------------------------------------------------
@@ -284,20 +361,37 @@ class AdmissionController:
     # ------------------------------------------------------------------
 
     def _police_deadlock(self, txn: GTMTransaction, obj: ManagedObject,
-                         invocation: Invocation) -> str | None:
+                         invocation: Invocation,
+                         scratch: "_SweepScratch | None" = None,
+                         refresh: bool = False) -> str | None:
         """Consult the policy until it rests; abort each chosen victim.
 
         Returns :data:`GrantOutcome.ABORTED` when the requester itself is
         the victim, :data:`GrantOutcome.GRANTED` when killing another
         victim freed the object and the requester got the grant, and None
         when the requester still (legitimately) waits.
+
+        ``refresh`` marks the re-police path: the first policy consult
+        *replaces* the waiter's recorded edges (stale ones must go) where
+        the request path only ever adds fresh ones.
         """
         txn_id = txn.txn_id
+        first = True
         while True:
-            blockers = self._queue_blockers(obj, txn_id, invocation)
+            blockers = self._queue_blockers(obj, txn_id, invocation,
+                                            scratch)
             if not blockers:
+                if first and refresh:
+                    # nothing blocks the waiter any more, but its stale
+                    # recorded edges still must be dropped.
+                    self.deadlock_policy.on_stop_waiting(txn_id)
                 break
-            resolution = self.deadlock_policy.on_wait(txn_id, blockers)
+            if first and refresh:
+                resolution = self.deadlock_policy.refresh_wait(
+                    txn_id, blockers)
+            else:
+                resolution = self.deadlock_policy.on_wait(txn_id, blockers)
+            first = False
             if resolution is None:
                 return None
             victim = resolution.victim
@@ -402,6 +496,7 @@ class AdmissionController:
         batch = self.grant_policy.select(obj, candidates, self.checker,
                                          self._clock(), holders)
         granted: list[str] = []
+        recycled: list[WaitEntry] = []
         now = self._clock()
         for entry in batch:
             txn = self._transactions.get(entry.txn_id)
@@ -414,6 +509,9 @@ class AdmissionController:
             txn.clear_wait(obj.name)
             self.grant(txn, obj, entry.invocation, now)
             granted.append(entry.txn_id)
+            # the grant path holds the last reference to the dequeued
+            # entry, so it (and only it) may recycle — see core.pool.
+            recycled.append(entry)
         if granted:
             self.bus.on_unlock(obj, tuple(granted), now)
         # pump telemetry: an *overtake* is a grant handed out while an
@@ -430,8 +528,55 @@ class AdmissionController:
                     blocked_ahead += 1
         self.bus.on_pump(obj, len(candidates), tuple(granted), overtakes,
                          now)
-        self._repolice_waiters(obj)
+        for entry in recycled:
+            entry.release()
+        if self._tick_depth > 0:
+            # tick-batched: sweep once at end_tick, however many unlock
+            # events dirtied this object within the facade call.
+            if not obj.repolice_queued:
+                obj.repolice_queued = True
+                self._repolice_queue.append(obj)
+        else:
+            self._repolice_waiters(obj)
         return tuple(granted)
+
+    # ------------------------------------------------------------------
+    # tick batching — one re-police sweep per dirtied object per tick
+    # ------------------------------------------------------------------
+
+    def begin_tick(self) -> None:
+        """Open a facade tick: defer re-police sweeps until ``end_tick``."""
+        self._tick_depth += 1
+
+    def end_tick(self) -> None:
+        """Close a facade tick; the outermost close drains the queue."""
+        self._tick_depth -= 1
+        if self._tick_depth == 0:
+            self.flush_repolice()
+
+    def flush_repolice(self) -> None:
+        """Sweep every queued object once, including sweep-added ones.
+
+        A sweep can abort a deadlock victim, whose teardown re-enters the
+        facade (nested ticks) and may dirty further objects; those append
+        to the queue and the index loop picks them up.  The ``_flushing``
+        guard keeps the nested ``end_tick`` from starting a second drain
+        of the same queue.
+        """
+        if self._flushing:
+            return
+        self._flushing = True
+        try:
+            queue = self._repolice_queue
+            i = 0
+            while i < len(queue):
+                obj = queue[i]
+                i += 1
+                obj.repolice_queued = False
+                self._repolice_waiters(obj)
+            queue.clear()
+        finally:
+            self._flushing = False
 
     def _repolice_waiters(self, obj: ManagedObject) -> None:
         """Refresh the wait-for edges of waiters the pump left behind.
@@ -445,8 +590,20 @@ class AdmissionController:
         request-time edges which still say T0 waits on T1.)  Re-recording
         after every ⟨unlock, X⟩ keeps the graph current, and a cycle it
         closes is resolved exactly as at request time.
+
+        Cost control (the pump-regression fix): the sweep is gated at
+        *object* level by the lock epoch captured when the last sweep
+        started.  If the epoch has not moved since, every per-waiter
+        ``wait_edge_epochs`` check below would skip too (recording an
+        edge stores the then-current epoch, and every queue/lock
+        mutation bumps it), so the whole waiter walk — list copy, txn
+        lookups — is redundant and elided.
         """
+        start_epoch = obj.lock_epoch
+        if obj.repoliced_epoch == start_epoch:
+            return
         refreshed = 0
+        scratch = _SweepScratch()
         for entry in list(obj.waiting):
             txn = self._transactions.get(entry.txn_id)
             if txn is None or not txn.is_in(_TS.WAITING):
@@ -460,12 +617,18 @@ class AdmissionController:
                 # cycle can only close through a mutation, and every
                 # mutation bumps the epoch.
                 continue
-            # drop the stale edges before re-recording (a waiter waits on
-            # one object at a time, so this only clears this object's).
-            self.deadlock_policy.on_stop_waiting(entry.txn_id)
             refreshed += 1
-            self._police_deadlock(txn, obj, entry.invocation)
-            if obj.is_waiting(entry.txn_id):
+            # refresh=True replaces the waiter's stale edges in one step
+            # (a waiter waits on one object at a time, so this only
+            # touches this object's edges).
+            self._police_deadlock(txn, obj, entry.invocation,
+                                  scratch, refresh=True)
+            # "still queued?" — the scratch queue index answers without
+            # rescanning when the policing did not move the lock state.
+            if (entry.txn_id in scratch.queue_pos
+                    if scratch.epoch == obj.lock_epoch
+                    else obj.is_waiting(entry.txn_id)):
                 obj.wait_edge_epochs[entry.txn_id] = obj.lock_epoch
+        obj.repoliced_epoch = start_epoch
         if refreshed:
             self.bus.on_repolice(obj, refreshed, self._clock())

@@ -23,7 +23,7 @@ trace-identical episodes.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.core.compatibility import (
     CompatibilityMatrix,
@@ -38,8 +38,21 @@ from repro.errors import GTMError
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.objects import LockSetSummary, ManagedObject
 
+try:  # the vector engine is optional: no numpy -> bitmask fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - depends on the environment
+    _np = None
+
+#: True when the ``"vector"`` engine can actually vectorize (numpy
+#: importable); when False it silently degrades to the bitmask kernel.
+HAVE_NUMPY = _np is not None
+
 #: Names accepted by :func:`build_conflict_checker` / ``GTMConfig``.
-CONFLICT_ENGINES = ("bitmask", "reference")
+CONFLICT_ENGINES = ("bitmask", "reference", "vector")
+
+#: Signature of the per-round blocked test built by
+#: :meth:`ConflictChecker.blocked_tester`.
+BlockedTester = Callable[[str, Invocation], bool]
 
 
 class ConflictChecker:
@@ -86,6 +99,30 @@ class ConflictChecker:
         holders = obj.holder_ops(exclude=txn_id, include_sleeping=False)
         return any(self.conflicts_with_any(invocation, ops)
                    for ops in holders.values())
+
+    def blocked_tester(self, obj: "ManagedObject",
+                       holders: dict[str, list[Invocation]] | None = None,
+                       ) -> BlockedTester:
+        """A reusable ``blocked(txn_id, invocation)`` test for one round.
+
+        The grant policies probe many waiters against the *same* object
+        state; building the tester once per round lets each engine hoist
+        the txn-independent part of the test out of the per-waiter loop.
+        The reference engine prebuilds the effective holder dict once;
+        the bitmask engine (override below) memoizes the summary count
+        per ⟨class, member⟩.  The tester must not be used across
+        mutations of the object's lock sets.
+        """
+        if holders is None:
+            holders = obj.holder_ops(include_sleeping=False)
+        conflicts_with_any = self.conflicts_with_any
+
+        def blocked(txn_id: str, invocation: Invocation) -> bool:
+            return any(conflicts_with_any(invocation, ops)
+                       for holder, ops in holders.items()
+                       if holder != txn_id)
+
+        return blocked
 
     def new_round_set(self) -> "PairwiseRoundSet":
         """An accumulator for one grant round (see ``GrantPolicy``)."""
@@ -254,19 +291,144 @@ class BitmaskConflictChecker(ConflictChecker):
                        if self.in_conflict(invocation, op))
         return total > own
 
+    def blocked_tester(self, obj: "ManagedObject",
+                       holders: dict[str, list[Invocation]] | None = None,
+                       ) -> BlockedTester:
+        """Round tester memoizing the txn-independent summary count.
+
+        ``summary_conflicts`` depends only on ⟨op class, member⟩, not on
+        the requester, so one summary probe serves every waiter asking
+        for the same invocation shape — this is the pump-regression fix:
+        the old path re-counted the summary per waiter, losing to the
+        reference engine's single prebuilt holder dict whenever the
+        holder count was small.  The per-waiter remainder (subtracting
+        the requester's own contribution) only runs when the count is
+        non-zero, and short-circuits for waiters that hold nothing.
+        """
+        summary = obj.summary
+        memo: dict[tuple[int, str], int] = {}
+        summary_conflicts = self.summary_conflicts
+        in_conflict = self.in_conflict
+        sleeping = obj.sleeping
+        pending = obj.pending
+        committing = obj.committing
+
+        def blocked(txn_id: str, invocation: Invocation) -> bool:
+            key = (invocation.op_class.bit, invocation.member)
+            total = memo.get(key)
+            if total is None:
+                total = memo[key] = summary_conflicts(summary, invocation)
+            if total == 0:
+                return False
+            own = 0
+            if txn_id not in sleeping:
+                own_pending = pending.get(txn_id)
+                if own_pending:
+                    own += sum(1 for op in own_pending.values()
+                               if in_conflict(invocation, op))
+            own_committing = committing.get(txn_id)
+            if own_committing:
+                own += sum(1 for op in own_committing.values()
+                           if in_conflict(invocation, op))
+            return total > own
+
+        return blocked
+
     def new_round_set(self) -> "MaskRoundSet":
         return MaskRoundSet(self._masks, self.dependence)
+
+
+class VectorConflictChecker(BitmaskConflictChecker):
+    """Bitmask engine with numpy-vectorized summary counts.
+
+    The fan-out cost of :meth:`summary_conflicts` is the inner loop over
+    conflicting class bits per dependent member.  This engine compiles
+    each class's conflict row into an int64 0/1 vector and answers the
+    count as dot products against zero-copy views of the summary's
+    ``array('q')`` buffers — one ``row @ totals`` per member instead of
+    a Python loop per bit.  Results are exactly the bitmask engine's
+    (integer dot product of the same counts), so the differential
+    harness sees identical traces.
+
+    Only constructed when numpy imports; ``build_conflict_checker``
+    falls back to :class:`BitmaskConflictChecker` otherwise.
+    """
+
+    def __init__(self, matrix: CompatibilityMatrix = DEFAULT_MATRIX,
+                 dependence: LogicalDependence = INDEPENDENT_MEMBERS) -> None:
+        super().__init__(matrix=matrix, dependence=dependence)
+        count = len(self._masks)
+        #: per class: 0/1 int64 rows over all / whole-object-only /
+        #: member-scoped-only conflicting classes.
+        self._all_rows = _np.zeros((count, count), dtype=_np.int64)
+        self._whole_rows = _np.zeros((count, count), dtype=_np.int64)
+        self._member_rows = _np.zeros((count, count), dtype=_np.int64)
+        for bit in range(count):
+            for b in self._all_bits[bit]:
+                self._all_rows[bit, b] = 1
+            for b in self._whole_bits[bit]:
+                self._whole_rows[bit, b] = 1
+            for b in self._member_bits[bit]:
+                self._member_rows[bit, b] = 1
+
+    def summary_conflicts(self, summary: "LockSetSummary",
+                          invocation: Invocation) -> int:
+        bit = invocation.op_class.bit
+        totals = _np.frombuffer(summary.class_totals, dtype=_np.int64)
+        if invocation.op_class.is_whole_object:
+            return int(self._all_rows[bit] @ totals)
+        count = int(self._whole_rows[bit] @ totals)
+        member_row = self._member_rows[bit]
+        masks = summary.member_masks
+        counts = summary.member_counts
+        for member in self.dependence.dependent_members(invocation.member):
+            if not masks.get(member):
+                continue
+            row = _np.frombuffer(counts[member], dtype=_np.int64)
+            count += int(member_row @ row)
+        return count
+
+
+#: Interned checkers keyed by ⟨engine, matrix, dependence⟩.  Checkers
+#: are stateless after construction (precomputed masks/rows only), so
+#: every GTM with the same configuration shares one instance — profiling
+#: showed per-episode ``BitmaskConflictChecker`` construction at ~8% of
+#: fuzz-campaign runtime.  ``CompatibilityMatrix`` hashes by identity
+#: (the module singletons), ``LogicalDependence`` by value.
+_CHECKER_CACHE: dict[tuple, ConflictChecker] = {}
 
 
 def build_conflict_checker(engine: str,
                            matrix: CompatibilityMatrix = DEFAULT_MATRIX,
                            dependence: LogicalDependence
                            = INDEPENDENT_MEMBERS) -> ConflictChecker:
-    """Engine name -> checker (``"bitmask"`` default, ``"reference"``)."""
+    """Engine name -> interned checker.
+
+    ``"bitmask"`` is the default, ``"reference"`` the pairwise oracle,
+    ``"vector"`` the numpy kernel (silently degrading to bitmask when
+    numpy is absent, so configurations stay portable).
+    """
+    if engine == "vector" and not HAVE_NUMPY:
+        engine = "bitmask"
+    try:
+        key = (engine, matrix, dependence)
+        cached = _CHECKER_CACHE.get(key)
+    except TypeError:        # unhashable custom matrix/dependence
+        key = None
+        cached = None
+    if cached is not None:
+        return cached
     if engine == "bitmask":
-        return BitmaskConflictChecker(matrix=matrix, dependence=dependence)
-    if engine == "reference":
-        return ConflictChecker(matrix=matrix, dependence=dependence)
-    raise GTMError(
-        f"unknown conflict engine {engine!r}; expected one of "
-        f"{CONFLICT_ENGINES}")
+        checker: ConflictChecker = BitmaskConflictChecker(
+            matrix=matrix, dependence=dependence)
+    elif engine == "reference":
+        checker = ConflictChecker(matrix=matrix, dependence=dependence)
+    elif engine == "vector":
+        checker = VectorConflictChecker(matrix=matrix, dependence=dependence)
+    else:
+        raise GTMError(
+            f"unknown conflict engine {engine!r}; expected one of "
+            f"{CONFLICT_ENGINES}")
+    if key is not None:
+        _CHECKER_CACHE[key] = checker
+    return checker

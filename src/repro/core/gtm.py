@@ -15,6 +15,7 @@ live in ``docs/PROTOCOL.md`` alongside the layer diagram.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
@@ -58,6 +59,41 @@ __all__ = [
 ]
 
 _TS = TransactionState
+
+
+def _ticked(method):
+    """Bracket one facade mutation in a dispatch tick.
+
+    While the tick is open the :class:`~repro.core.events.EventBus`
+    buffers observer notifications and the admission controller defers
+    ⟨unlock, X⟩ re-police sweeps; the outermost ``finally`` drains both
+    — re-policing first (it emits into the still-open bus buffer), then
+    the bus in emission order.  Everything still happens *inside* the
+    facade call, so callers and observers see the same world as before,
+    minus the per-event cascade cost.  Nested ticks (abort inside
+    commit, the service re-entering from ``on_grant``) just deepen the
+    counters; only the outermost close flushes.
+    """
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        # begin/end_tick inlined: this wraps every facade call, and the
+        # counter twiddles are not worth four method calls apiece.
+        bus = self.bus
+        admission = self.admission
+        bus._tick_depth += 1
+        admission._tick_depth += 1
+        try:
+            return method(self, *args, **kwargs)
+        finally:
+            depth = admission._tick_depth - 1
+            admission._tick_depth = depth
+            if depth == 0 and admission._repolice_queue:
+                admission.flush_repolice()
+            depth = bus._tick_depth - 1
+            bus._tick_depth = depth
+            if depth == 0 and bus._buffer:
+                bus.flush()
+    return wrapper
 
 
 @dataclass
@@ -212,6 +248,7 @@ class GlobalTransactionManager:
     # Algorithm 1 — ⟨begin, A⟩
     # ------------------------------------------------------------------
 
+    @_ticked
     def begin(self, txn_id: str, priority: int = 0) -> GTMTransaction:
         """⟨begin, A⟩: create A in the Active state."""
         if txn_id in self.transactions:
@@ -226,6 +263,7 @@ class GlobalTransactionManager:
     # Algorithm 2 — ⟨op, X, A⟩ (the admission layer)
     # ------------------------------------------------------------------
 
+    @_ticked
     def invoke(self, txn_id: str, object_name: str,
                invocation: Invocation) -> str:
         """⟨op, X, A⟩: request the grant; returns a :class:`GrantOutcome`."""
@@ -237,6 +275,7 @@ class GlobalTransactionManager:
     # operating on virtual data
     # ------------------------------------------------------------------
 
+    @_ticked
     def apply(self, txn_id: str, object_name: str,
               invocation: Invocation) -> Any:
         """Perform one operation on A's virtual copy of X (A_temp)."""
@@ -253,21 +292,25 @@ class GlobalTransactionManager:
     # Algorithms 3 & 4 — the commit pipeline
     # ------------------------------------------------------------------
 
+    @_ticked
     def local_commit(self, txn_id: str, object_name: str) -> bool:
         """⟨commit, X, A⟩: reconcile and stage; False when deferred."""
         return self.pipeline.local_commit(self.transaction(txn_id),
                                           self.object(object_name),
                                           self.now())
 
+    @_ticked
     def global_commit(self, txn_id: str) -> SSTReport | None:
         """⟨commit, A⟩: apply X_new everywhere via the SST."""
         return self.pipeline.finish_commit(self.transaction(txn_id),
                                            self.now())
 
+    @_ticked
     def request_commit(self, txn_id: str) -> SSTReport | None:
         """Local commit on every involved object, then global commit."""
         return self.pipeline.request_commit(self.transaction(txn_id))
 
+    @_ticked
     def try_finish_commit(self, txn_id: str) -> SSTReport | None:
         """Retry a commit left pending by deferred local commits."""
         return self.pipeline.try_finish_commit(self.transaction(txn_id))
@@ -276,6 +319,7 @@ class GlobalTransactionManager:
         """True when every involved object has A staged in X_committing."""
         return self.pipeline.commit_ready(self.transaction(txn_id))
 
+    @_ticked
     def pump_commits(self) -> list[str]:
         """Complete every transaction whose deferred commits have staged."""
         return self.pipeline.pump_commits()
@@ -284,12 +328,14 @@ class GlobalTransactionManager:
     # Algorithms 5 & 6 — ⟨abort, X, A⟩ and ⟨abort, A⟩
     # ------------------------------------------------------------------
 
+    @_ticked
     def local_abort(self, txn_id: str, object_name: str) -> None:
         """⟨abort, X, A⟩: drop A's work on X."""
         self.admission.local_abort(self.transaction(txn_id),
                                    self.object(object_name))
         self.pipeline.cancel_deferred(txn_id, object_name)
 
+    @_ticked
     def global_abort(self, txn_id: str, reason: str = "requested") -> None:
         """⟨abort, A⟩: finalize the abort across every involved object."""
         txn = self.transaction(txn_id)
@@ -308,6 +354,7 @@ class GlobalTransactionManager:
             self.pipeline.pump_deferred(obj)
             self.admission.pump_unlock(obj)
 
+    @_ticked
     def abort(self, txn_id: str, reason: str = "requested") -> None:
         """Convenience: local aborts on every involved object + global."""
         txn = self.transaction(txn_id)
@@ -325,6 +372,7 @@ class GlobalTransactionManager:
     # Algorithms 7-10 — the sleep manager
     # ------------------------------------------------------------------
 
+    @_ticked
     def sleep(self, txn_id: str) -> None:
         """⟨sleep, A⟩ then ⟨sleep, X, A⟩ for every involved X.  The
         "oracle Ξ" of Algorithm 8 is the caller (disconnection start)."""
@@ -332,6 +380,7 @@ class GlobalTransactionManager:
         self.sleep_manager.sleep(txn, self._involved_objects(txn),
                                  self.now())
 
+    @_ticked
     def awake(self, txn_id: str) -> bool:
         """⟨awake, X, A⟩ on every object, then ⟨awake, A⟩.  True when A
         survived (now Active); False when Algorithm 9 forced an abort."""

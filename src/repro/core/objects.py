@@ -22,11 +22,19 @@ database writes.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Any, Iterator, Mapping
 
 from repro.errors import GTMError
 from repro.core.opclass import OP_CLASS_COUNT, Invocation
+from repro.core.pool import FreeList
+
+#: Template for a zeroed per-class count row.  ``array("q")`` (signed
+#: 64-bit) instead of a list: same O(1) indexed access for the bitmask
+#: kernel, but a flat C buffer the vector engine can wrap zero-copy
+#: with ``numpy.frombuffer``.
+_ZERO_ROW = array("q", [0] * OP_CLASS_COUNT)
 
 
 class LockSetSummary:
@@ -61,8 +69,8 @@ class LockSetSummary:
                  "total_ops")
 
     def __init__(self) -> None:
-        self.class_totals: list[int] = [0] * OP_CLASS_COUNT
-        self.member_counts: dict[str, list[int]] = {}
+        self.class_totals: array = array("q", _ZERO_ROW)
+        self.member_counts: dict[str, array] = {}
         self.member_masks: dict[str, int] = {}
         self.total_ops = 0
 
@@ -75,7 +83,7 @@ class LockSetSummary:
         member = invocation.member
         counts = self.member_counts.get(member)
         if counts is None:
-            counts = self.member_counts[member] = [0] * OP_CLASS_COUNT
+            counts = self.member_counts[member] = array("q", _ZERO_ROW)
         counts[bit] += 1
         self.member_masks[member] = self.member_masks.get(member, 0) \
             | (1 << bit)
@@ -102,7 +110,7 @@ class LockSetSummary:
 
     def rebuild_from(self, obj: "ManagedObject") -> None:
         """Recompute from the object's raw sets (verification aid)."""
-        self.class_totals = [0] * OP_CLASS_COUNT
+        self.class_totals = array("q", _ZERO_ROW)
         self.member_counts.clear()
         self.member_masks.clear()
         self.total_ops = 0
@@ -154,13 +162,50 @@ class ObjectBinding:
                 f"{member!r}") from None
 
 
-@dataclass(frozen=True)
 class WaitEntry:
-    """One entry of ``X_waiting``: a transaction and its requested op."""
+    """One entry of ``X_waiting``: a transaction and its requested op.
 
-    txn_id: str
-    invocation: Invocation
-    arrival: float
+    Wait entries churn once per blocked request, so they are slotted and
+    pooled: the admission layer acquires via :meth:`acquire` and gives a
+    granted waiter's entry back via :meth:`release` once every reference
+    to it is dead (abort-path entries are just dropped to the GC — the
+    pool never guesses about liveness).  ``release`` scrubs every field,
+    so a recycled entry can never leak one transaction's state into
+    another's — pinned by the reuse-safety property tests.
+    """
+
+    __slots__ = ("txn_id", "invocation", "arrival")
+
+    def __init__(self, txn_id: str, invocation: Invocation,
+                 arrival: float) -> None:
+        self.txn_id = txn_id
+        self.invocation = invocation
+        self.arrival = arrival
+
+    @classmethod
+    def acquire(cls, txn_id: str, invocation: Invocation,
+                arrival: float) -> "WaitEntry":
+        entry = _WAIT_ENTRY_POOL.acquire()
+        entry.txn_id = txn_id
+        entry.invocation = invocation
+        entry.arrival = arrival
+        return entry
+
+    def release(self) -> None:
+        self.txn_id = ""
+        self.invocation = None
+        self.arrival = 0.0
+        _WAIT_ENTRY_POOL.release(self)
+
+    def __repr__(self) -> str:
+        return (f"<WaitEntry {self.txn_id!r} "
+                f"{self.invocation.describe() if self.invocation else '⊥'} "
+                f"@{self.arrival}>")
+
+
+#: Per-process pool of recycled wait entries (see :mod:`repro.core.pool`).
+_WAIT_ENTRY_POOL: FreeList[WaitEntry] = FreeList(
+    lambda: WaitEntry.__new__(WaitEntry), max_size=4096)
 
 
 @dataclass(frozen=True)
@@ -176,6 +221,11 @@ class CommitRecord:
 
 class ManagedObject:
     """The GTM-side state of one database object."""
+
+    __slots__ = ("name", "permanent", "binding", "exists", "pending",
+                 "waiting", "committing", "committed", "aborting",
+                 "sleeping", "read", "new", "summary", "lock_epoch",
+                 "wait_edge_epochs", "repoliced_epoch", "repolice_queued")
 
     def __init__(self, name: str,
                  members: Mapping[str, Any] | None = None,
@@ -222,6 +272,15 @@ class ManagedObject:
         #: txn -> ``lock_epoch`` at which its wait-for edges were last
         #: recorded (owned by the admission layer's re-policing).
         self.wait_edge_epochs: dict[str, int] = {}
+        #: ``lock_epoch`` captured at the *start* of the last completed
+        #: re-policing sweep.  When it still equals ``lock_epoch`` the
+        #: sweep would refresh nothing (every waiter's edges were
+        #: re-recorded then and nothing moved since), so the admission
+        #: layer skips the whole waiter walk.
+        self.repoliced_epoch = -1
+        #: True while this object sits in the admission layer's deferred
+        #: re-policing queue (tick batching; owned by that layer).
+        self.repolice_queued = False
 
     # -- membership helpers ---------------------------------------------------
 

@@ -25,7 +25,14 @@ from repro.errors import GTMError
 
 
 class OperationClass(enum.Enum):
-    """Semantic classes of transaction operations (paper Table I)."""
+    """Semantic classes of transaction operations (paper Table I).
+
+    Each member is an interned singleton carrying precomputed plain
+    attributes — ``bit``, ``mask``, ``is_whole_object``, ``is_update``,
+    ``mutates`` — set once by the module loop below.  They used to be
+    properties; the admission hot path reads them per request, and a
+    plain attribute load is ~5× cheaper than a property call.
+    """
 
     READ = "read"
     INSERT = "insert"
@@ -33,21 +40,6 @@ class OperationClass(enum.Enum):
     UPDATE_ASSIGN = "update-assign"
     UPDATE_ADDSUB = "update-addsub"
     UPDATE_MULDIV = "update-muldiv"
-
-    @property
-    def is_whole_object(self) -> bool:
-        """INSERT/DELETE act on whole objects, not single data members."""
-        return self in (OperationClass.INSERT, OperationClass.DELETE)
-
-    @property
-    def is_update(self) -> bool:
-        return self in (OperationClass.UPDATE_ASSIGN,
-                        OperationClass.UPDATE_ADDSUB,
-                        OperationClass.UPDATE_MULDIV)
-
-    @property
-    def mutates(self) -> bool:
-        return self is not OperationClass.READ
 
     def apply(self, value: Any, operand: Any) -> Any:
         """Apply one operation of this class to a virtual value.
@@ -77,8 +69,15 @@ OP_CLASS_COUNT = len(OperationClass)
 # conflict kernel in repro.core.compatibility / repro.core.conflicts
 # indexes occupancy and conflict masks by these bits, so they must not
 # change once persisted artefacts (BENCH_gtm.json) reference them.
+# ``mask``/``is_whole_object``/``is_update``/``mutates`` ride along as
+# precomputed plain attributes (see the class docstring).
 for _bit, _op_class in enumerate(OperationClass):
     _op_class.bit = _bit
+    _op_class.mask = 1 << _bit
+    _op_class.is_whole_object = _op_class.name in ("INSERT", "DELETE")
+    _op_class.is_update = _op_class.name in (
+        "UPDATE_ASSIGN", "UPDATE_ADDSUB", "UPDATE_MULDIV")
+    _op_class.mutates = _op_class.name != "READ"
 del _bit, _op_class
 
 #: Bitmask covering the whole-object classes (INSERT | DELETE).
@@ -86,7 +85,7 @@ WHOLE_OBJECT_MASK = ((1 << OperationClass.INSERT.bit)
                      | (1 << OperationClass.DELETE.bit))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Invocation:
     """The payload of an ⟨op, X, A⟩ invocation event.
 

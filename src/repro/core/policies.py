@@ -58,6 +58,14 @@ class DeadlockPolicy(Protocol):
         """``waiter`` queued behind ``blockers``; return a victim or None."""
         ...
 
+    def refresh_wait(self, waiter: str,
+                     blockers: Sequence[str]) -> DeadlockResolution | None:
+        """Replace ``waiter``'s recorded blockers and re-check (the
+        re-police path); equivalent to ``on_stop_waiting`` followed by
+        ``on_wait``, but detection policies may skip the cycle search
+        when the blocker set is unchanged."""
+        ...
+
     def on_stop_waiting(self, waiter: str) -> None:
         ...
 
@@ -78,6 +86,11 @@ class _TimestampedPolicy:
     def _age_key(self, txn_id: str) -> tuple[float, str]:
         """Sort key: smaller is older (ties broken by id for determinism)."""
         return (self._start_time_of(txn_id), txn_id)
+
+    def refresh_wait(self, waiter: str,
+                     blockers: Sequence[str]) -> DeadlockResolution | None:
+        self.on_stop_waiting(waiter)
+        return self.on_wait(waiter, blockers)
 
     def on_stop_waiting(self, waiter: str) -> None:
         pass
@@ -112,6 +125,13 @@ class WaitForGraphPolicy(_TimestampedPolicy):
     def on_wait(self, waiter: str,
                 blockers: Sequence[str]) -> DeadlockResolution | None:
         resolution = self.detector.on_wait(waiter, blockers)
+        if resolution is not None:
+            self.detections += 1
+        return resolution
+
+    def refresh_wait(self, waiter: str,
+                     blockers: Sequence[str]) -> DeadlockResolution | None:
+        resolution = self.detector.refresh_wait(waiter, blockers)
         if resolution is not None:
             self.detections += 1
         return resolution

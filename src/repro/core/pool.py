@@ -1,0 +1,91 @@
+"""Free-list object pools for hot-path records.
+
+The GTM's per-event cost is dominated by Python object churn: wait-queue
+entries, per-commit scratch lists, and simulation heap entries are
+allocated and discarded thousands of times per episode.  A free list
+turns each of those into a pop/push pair on a plain Python list —
+allocation only happens while the pool is empty (the warm-up ramp).
+
+Pools are deliberately dumb:
+
+- **per-process** module/instance state, never shared across processes
+  (each :mod:`repro.parallel` worker warms its own);
+- **bounded** (``max_size``) so a one-off burst cannot pin memory;
+- **reset-on-release**: the releaser passes a fully-specified record
+  back, and :meth:`FreeList.acquire` overwrites every field, so a
+  recycled record can never leak state between owners — the property
+  suite in ``tests/core/test_pools.py`` asserts exactly this.
+
+The pool does NOT reference-count: callers must release a record only
+once every reference to it is dead.  The admission layer therefore
+releases a :class:`~repro.core.objects.WaitEntry` only on the pump's
+grant path (where it controls the last reference); abort-path entries
+are simply dropped to the garbage collector.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class FreeList(Generic[T]):
+    """A bounded LIFO free list over a zero-argument factory."""
+
+    __slots__ = ("_factory", "_free", "max_size", "created", "reused")
+
+    def __init__(self, factory: Callable[[], T],
+                 max_size: int = 1024) -> None:
+        self._factory = factory
+        self._free: list[T] = []
+        self.max_size = max_size
+        #: telemetry: objects built fresh vs recycled (tests and the
+        #: allocation-budget bench read these).
+        self.created = 0
+        self.reused = 0
+
+    def acquire(self) -> T:
+        """Pop a recycled record, or build a fresh one."""
+        if self._free:
+            self.reused += 1
+            return self._free.pop()
+        self.created += 1
+        return self._factory()
+
+    def release(self, record: T) -> None:
+        """Return a record to the pool (dropped when the pool is full)."""
+        if len(self._free) < self.max_size:
+            self._free.append(record)
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+
+class ScratchLists:
+    """A free list of plain ``list`` scratch buffers.
+
+    For call-local accumulators (the commit pipeline's staged-write
+    lists, the pump's candidate batches) that are built, consumed and
+    discarded within one call.  ``release`` clears the list before
+    pooling it, so a recycled buffer is always empty.
+    """
+
+    __slots__ = ("_free", "max_size")
+
+    def __init__(self, max_size: int = 64) -> None:
+        self._free: list[list[Any]] = []
+        self.max_size = max_size
+
+    def acquire(self) -> list[Any]:
+        if self._free:
+            return self._free.pop()
+        return []
+
+    def release(self, scratch: list[Any]) -> None:
+        scratch.clear()
+        if len(self._free) < self.max_size:
+            self._free.append(scratch)
+
+    def __len__(self) -> int:
+        return len(self._free)

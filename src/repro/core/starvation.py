@@ -93,19 +93,16 @@ class FifoGrantPolicy:
         # The batch and blocked-ahead sets are round accumulators: the
         # bitmask engine backs them with per-member occupancy masks, so
         # judging each waiter is O(1) instead of pairwise against every
-        # earlier entry (the O(n²) the perf harness measures).
+        # earlier entry (the O(n²) the perf harness measures).  The
+        # holder test is likewise built once per round: the engine hoists
+        # the txn-independent work (summary counts, holder snapshots) out
+        # of the per-waiter loop.
         batch_set = checker.new_round_set()
         blocked_set = checker.new_round_set()
+        blocked_by = checker.blocked_tester(obj, holders)
         for entry in candidates:
-            if holders is None:
-                blocked_by_holder = checker.object_blocked(
-                    obj, entry.txn_id, entry.invocation)
-            else:
-                blocked_by_holder = any(
-                    checker.conflicts_with_any(entry.invocation, ops)
-                    for txn_id, ops in holders.items()
-                    if txn_id != entry.txn_id)
-            if blocked_by_holder or batch_set.conflicts(entry.invocation) \
+            if blocked_by(entry.txn_id, entry.invocation) \
+                    or batch_set.conflicts(entry.invocation) \
                     or blocked_set.conflicts(entry.invocation):
                 blocked_set.add(entry.invocation)
             else:

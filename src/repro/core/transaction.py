@@ -19,6 +19,12 @@ from repro.core.states import StateMachine, TransactionState
 class GTMTransaction:
     """One transaction as the GTM sees it."""
 
+    # Flattened hot record: thousands are created per campaign and every
+    # admission/commit step reads several fields, so no per-instance
+    # __dict__.
+    __slots__ = ("txn_id", "begin_time", "priority", "_machine", "temp",
+                 "operations", "t_sleep", "t_wait", "involved", "end_time")
+
     def __init__(self, txn_id: str, begin_time: float = 0.0,
                  priority: int = 0) -> None:
         self.txn_id = txn_id

@@ -35,6 +35,9 @@ class WaitForGraph:
 
     def __init__(self) -> None:
         self._edges: dict[str, set[str]] = {}
+        #: node -> its targets as a sorted tuple (the DFS visit order);
+        #: filled lazily, dropped whenever the node's edge set changes.
+        self._sorted: dict[str, tuple[str, ...]] = {}
 
     # -- edge maintenance ----------------------------------------------------
 
@@ -43,16 +46,40 @@ class WaitForGraph:
         if not targets:
             return
         self._edges.setdefault(waiter, set()).update(targets)
+        self._sorted.pop(waiter, None)
+
+    def replace_waits(self, waiter: str, holders: Iterable[str]) -> bool:
+        """Set ``waiter``'s outgoing edges to exactly ``holders`` (minus
+        any self-loop).  Returns True when the edge set actually changed
+        — the re-police sweep uses this to skip redundant cycle checks.
+        """
+        targets = {h for h in holders if h != waiter}
+        current = self._edges.get(waiter)
+        if not targets:
+            if current is None:
+                return False
+            del self._edges[waiter]
+            self._sorted.pop(waiter, None)
+            return True
+        if current == targets:
+            return False
+        self._edges[waiter] = targets
+        self._sorted.pop(waiter, None)
+        return True
 
     def clear_waits(self, waiter: str) -> None:
         """Remove all outgoing edges of ``waiter`` (it stopped waiting)."""
         self._edges.pop(waiter, None)
+        self._sorted.pop(waiter, None)
 
     def remove_node(self, node: str) -> None:
         """Remove a transaction entirely (commit/abort)."""
         self._edges.pop(node, None)
-        for targets in self._edges.values():
-            targets.discard(node)
+        self._sorted.pop(node, None)
+        for waiter, targets in self._edges.items():
+            if node in targets:
+                targets.discard(node)
+                self._sorted.pop(waiter, None)
 
     def edges(self) -> tuple[tuple[str, str], ...]:
         return tuple((src, dst)
@@ -78,13 +105,21 @@ class WaitForGraph:
                 return cycle
         return None
 
+    def _adjacency(self, node: str) -> tuple[str, ...]:
+        """Sorted targets of ``node`` (the deterministic DFS order)."""
+        adj = self._sorted.get(node)
+        if adj is None:
+            adj = tuple(sorted(self._edges.get(node, ())))
+            self._sorted[node] = adj
+        return adj
+
     def _cycle_from(self, root: str) -> tuple[str, ...] | None:
         # Iterative DFS with an explicit path stack (colouring scheme).
         path: list[str] = []
         on_path: set[str] = set()
         done: set[str] = set()
         stack: list[tuple[str, Iterable[str]]] = [
-            (root, iter(sorted(self._edges.get(root, ()))))]
+            (root, iter(self._adjacency(root)))]
         path.append(root)
         on_path.add(root)
         while stack:
@@ -99,8 +134,7 @@ class WaitForGraph:
                     continue
                 path.append(child)
                 on_path.add(child)
-                stack.append(
-                    (child, iter(sorted(self._edges.get(child, ())))))
+                stack.append((child, iter(self._adjacency(child))))
                 advanced = True
                 break
             if not advanced:
@@ -130,14 +164,42 @@ class DeadlockDetector:
         self._start_time_of = start_time_of or (lambda txn: 0.0)
         self._lock_count_of = lock_count_of or (lambda txn: 0)
         self.detections = 0
+        #: waiters whose last cycle check came back clean; while their
+        #: edge set stays put no pass since has dirtied them, the graph
+        #: is still acyclic from there and the DFS can be elided.
+        self._acyclic: set[str] = set()
 
     def on_wait(self, waiter: str,
                 holders: Iterable[str]) -> DeadlockResolution | None:
         """Record a wait edge and check for a cycle through ``waiter``."""
         self.graph.add_waits(waiter, holders)
+        return self._detect(waiter)
+
+    def refresh_wait(self, waiter: str,
+                     holders: Iterable[str]) -> DeadlockResolution | None:
+        """Replace ``waiter``'s edges and re-check — the re-police path.
+
+        Edge removals never create cycles, so when the replacement turns
+        out to be a no-op and the waiter's last check was clean the DFS
+        is skipped entirely; that is the common case when one unlock
+        forces a sweep over many untouched waiters.
+        """
+        changed = self.graph.replace_waits(waiter, holders)
+        if not changed and waiter in self._acyclic:
+            return None
+        return self._detect(waiter)
+
+    def _detect(self, waiter: str) -> DeadlockResolution | None:
         cycle = self.graph.find_cycle(start=waiter)
         if cycle is None:
+            self._acyclic.add(waiter)
             return None
+        # every clean bit is void once a cycle is found: the admission
+        # layer may spare the victim (a committer), and a second cycle
+        # overlapping this one can stand through waiters the DFS never
+        # walked.  Detections are rare, so re-verifying everyone is
+        # cheap insurance.
+        self._acyclic.clear()
         self.detections += 1
         victim = self._choose_victim(cycle)
         return DeadlockResolution(victim=victim, cycle=cycle)
@@ -147,6 +209,7 @@ class DeadlockDetector:
 
     def on_finished(self, txn_id: str) -> None:
         self.graph.remove_node(txn_id)
+        self._acyclic.discard(txn_id)
 
     def _choose_victim(self, cycle: tuple[str, ...]) -> str:
         if self.policy is VictimPolicy.YOUNGEST:

@@ -2,11 +2,12 @@
 
 Per episode the harness compares the full observable outcome (trace,
 permanent object state, invariants) of the reference conflict engine,
-the bitmask engine and the bitmask engine on an 8-shard lock table.
-Baseline schedulers (which have no engine switch) degrade to run-twice
+the bitmask engine, the bitmask engine on an 8-shard lock table and —
+when numpy is importable — the vectorized mask engine.  Baseline
+schedulers (which have no engine switch) degrade to run-twice
 determinism checks.  The satellite requirement is >=200 episodes x 3
-schedulers; they are parametrized so each scheduler stays inside the
-default per-test budget.
+schedulers across reference/bitmask/vector; they are parametrized so
+each scheduler stays inside the default per-test budget.
 """
 
 import pytest
@@ -30,7 +31,22 @@ def test_differential_campaign_has_zero_divergences(scheduler):
     assert report.episodes == EPISODES_PER_SCHEDULER
 
 
-def test_gtm_episode_compares_all_three_variants():
+def test_gtm_variant_matrix_covers_every_conflict_engine():
+    """The 200-episode campaigns above derive their coverage from
+    GTM_VARIANTS, so pin what that matrix actually contains: all three
+    conflict engines (vector included when numpy is present)."""
+    engines = {overrides.get("conflict_engine", "bitmask")
+               for _, overrides in GTM_VARIANTS}
+    expected = {"reference", "bitmask"}
+    try:
+        import numpy  # noqa: F401
+        expected.add("vector")
+    except ImportError:
+        pass
+    assert engines == expected
+
+
+def test_gtm_episode_compares_all_variants():
     spec = generate_episode(FuzzConfig(scheduler="gtm"), seed=7, index=0)
     comparison = compare_episode(spec)
     assert comparison.ok, comparison.summary()
