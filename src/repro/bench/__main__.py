@@ -22,6 +22,7 @@ from pathlib import Path
 from repro.bench.perf import PROFILES, render_summary, run_perf, \
     write_bench_json
 from repro.bench.registry import get_experiment, list_experiments
+from repro.errors import GTMError
 from repro.parallel import parse_jobs
 
 
@@ -52,7 +53,14 @@ def main(argv: list[str] | None = None) -> int:
     arguments = parser.parse_args(argv)
 
     if arguments.profile is not None:
-        payload = run_perf(arguments.profile, jobs=arguments.jobs)
+        try:
+            payload = run_perf(arguments.profile, jobs=arguments.jobs)
+        except GTMError as exc:
+            # a digest gate tripped mid-harness: the message already
+            # names the stage, tier, variant pair and both digests —
+            # print it actionably instead of dying with a traceback.
+            print(f"BENCH DIGEST GATE FAILED: {exc}", file=sys.stderr)
+            return 1
         target = write_bench_json(payload, arguments.json)
         print(render_summary(payload))
         print(f"\nwrote {target}")
@@ -66,6 +74,24 @@ def main(argv: list[str] | None = None) -> int:
         if not payload["parallel_scaling"]["outcomes_identical"]:
             print("PARALLEL CAMPAIGN DIVERGED FROM SERIAL",
                   file=sys.stderr)
+            return 1
+        federation = payload["federation_scaling"]
+        if not federation["identity_identical"]:
+            for failure in federation["identity_failures"]:
+                print(f"FEDERATION DIGEST GATE FAILED "
+                      f"[{failure['tier']} tier]: "
+                      f"{failure['label']} diverged from "
+                      f"{failure['baseline_label']} at episode "
+                      f"{failure['episode']}: {failure['digest']} != "
+                      f"{failure['baseline_digest']}", file=sys.stderr)
+            return 1
+        mvcc = federation.get("mvcc")
+        if mvcc is not None and not mvcc["mvcc_dominates"]:
+            print(f"MVCC READS DID NOT DOMINATE LOCKING READS: "
+                  f"{mvcc['lock_free_reads']} lock-free reads, "
+                  f"sim makespan {mvcc['sim_makespan_mvcc_s']:.3f}s "
+                  f"(mvcc) vs {mvcc['sim_makespan_locking_s']:.3f}s "
+                  f"(locking)", file=sys.stderr)
             return 1
         if not payload["observability"]["digests_identical"]:
             print("OBSERVABILITY PERTURBED THE CAMPAIGN DIGEST",

@@ -334,6 +334,24 @@ EPISODE_TIERS: tuple[tuple[str, dict[str, Any], int], ...] = (
 )
 
 
+def _first_digest_divergence(baseline_label: str, baseline: list[str],
+                             label: str, run_digests: list[str]
+                             ) -> dict[str, Any] | None:
+    """First per-episode digest mismatch between two variant runs.
+
+    The returned record carries everything a person needs to chase the
+    divergence (tier owner adds the tier): which pair of variants, at
+    which episode index, and both digests — the digest-gate failure
+    message is built from it instead of a bare "variants diverged".
+    """
+    for index, (expected, got) in enumerate(zip(baseline, run_digests)):
+        if expected != got:
+            return {"episode": index, "baseline_label": baseline_label,
+                    "label": label, "baseline_digest": expected,
+                    "digest": got}
+    return None
+
+
 def _episode_digest(scheduler: Any, result: Any) -> str:
     """Canonical SHA-256 of one episode run's observable outcome."""
     import hashlib
@@ -404,9 +422,20 @@ def bench_episodes(profile: PerfProfile, seed: int = 2008) -> dict[str, Any]:
                 "elapsed_s": best_elapsed,
                 "episodes_per_sec": count / max(best_elapsed, 1e-12),
             })
-        baseline = digests[GTM_VARIANTS[0][0]]
+        baseline_label = GTM_VARIANTS[0][0]
+        baseline = digests[baseline_label]
         identical = all(run == baseline for run in digests.values())
         if not identical:
+            for label, run_digests in digests.items():
+                div = _first_digest_divergence(baseline_label, baseline,
+                                               label, run_digests)
+                if div is not None:
+                    raise GTMError(
+                        f"episode throughput digest gate ({tier} tier): "
+                        f"variant {div['label']!r} diverged from "
+                        f"{div['baseline_label']!r} at episode "
+                        f"{div['episode']}: {div['digest']} != "
+                        f"{div['baseline_digest']}")
             raise GTMError(
                 f"episode throughput ({tier}): engine variants diverged")
         tiers.append({
@@ -429,6 +458,163 @@ def bench_episodes(profile: PerfProfile, seed: int = 2008) -> dict[str, Any]:
         "hotspot_bitmask_vs_reference":
             _eps(hotspot, "bitmask") / max(_eps(hotspot, "reference"),
                                            1e-12),
+    }
+
+
+# ---------------------------------------------------------------------------
+# federation scaling
+# ---------------------------------------------------------------------------
+
+
+#: (label, GTMConfig overrides) of the federation shard sweep.  The
+#: monolith is the baseline; the 1-shard federation must be digest-
+#: identical to it per episode (the coordination layer priced, nothing
+#: reordered), while higher shard counts are correctness-gated by the
+#: federation differential campaign instead (their repolice drain
+#: order legitimately differs).
+FEDERATION_SHARD_VARIANTS: tuple[tuple[str, dict[str, Any]], ...] = (
+    ("monolith", {"gtm_shards": 0}),
+    ("fed-1shard", {"gtm_shards": 1}),
+    ("fed-2shard", {"gtm_shards": 2}),
+    ("fed-4shard", {"gtm_shards": 4}),
+    ("fed-8shard", {"gtm_shards": 8}),
+)
+
+#: (tier, FuzzConfig overrides, episodes) of the federation sweep:
+#: the three contention tiers of :data:`EPISODE_TIERS` (trimmed — five
+#: shard variants already multiply the work) plus a read-heavy tier
+#: where the MVCC read path should dominate the locking one.
+FEDERATION_TIERS: tuple[tuple[str, dict[str, Any], int], ...] = (
+    ("light", {}, 20),
+    ("contended", {"max_objects": 2, "max_txns": 24,
+                   "max_ops_per_txn": 3, "arrival_spread": 2.0}, 8),
+    ("hotspot", {"max_objects": 1, "max_txns": 48, "max_ops_per_txn": 3,
+                 "arrival_spread": 1.0, "p_outage": 0.1,
+                 "p_wait_timeout": 0.0}, 6),
+    ("read-heavy", {"max_objects": 4, "max_txns": 24,
+                    "max_ops_per_txn": 3, "p_read": 0.85,
+                    "arrival_spread": 2.0, "p_outage": 0.0,
+                    "p_wait_timeout": 0.0}, 10),
+)
+
+#: The MVCC-vs-locking pair compared on the read-heavy tier.
+MVCC_LOCKING_LABEL = "fed-4shard"
+MVCC_VARIANT: tuple[str, dict[str, Any]] = (
+    "fed-4shard-mvcc", {"gtm_shards": 4, "mvcc_reads": True})
+
+
+def bench_federation_scaling(profile: PerfProfile,
+                             seed: int = 2008) -> dict[str, Any]:
+    """Episodes/sec across GTM shard counts, identity- and MVCC-gated.
+
+    Each tier's seeded episode set runs once per shard variant (best of
+    ``episode_reps`` timings); the read-heavy tier additionally runs
+    the 4-shard federation with MVCC reads on.  Two gates ride along:
+
+    - **identity** — per-episode digests of ``fed-1shard`` must equal
+      the monolith's (any mismatch is recorded with the tier, the
+      variant pair, the episode index and both digests, and fails the
+      bench CLI);
+    - **mvcc** — on the read-heavy tier the MVCC variant must finish
+      the same episodes in less *simulated* time than its locking twin
+      (reads never park in the wait queue), with the lock-free read
+      count recorded as evidence.  Simulated makespan is deterministic,
+      so this gate cannot flake with wall-clock noise.
+    """
+    from repro.check.differential import _gtm_variant_scheduler
+    from repro.check.fuzzer import FuzzConfig, episode_workload, \
+        generate_episode
+
+    tiers: list[dict[str, Any]] = []
+    identity_failures: list[dict[str, Any]] = []
+    mvcc_gate: dict[str, Any] | None = None
+    for tier, overrides, base_count in FEDERATION_TIERS:
+        count = base_count * profile.episode_scale
+        config = FuzzConfig(**overrides)
+        specs = [generate_episode(config, seed, index)
+                 for index in range(count)]
+        variants = FEDERATION_SHARD_VARIANTS
+        if tier == "read-heavy":
+            variants = variants + (MVCC_VARIANT,)
+        digests: dict[str, list[str]] = {}
+        makespans: dict[str, float] = {}
+        lock_free_reads: dict[str, int] = {}
+        rows: list[dict[str, Any]] = []
+        for label, config_overrides in variants:
+            best_elapsed = None
+            for rep in range(profile.episode_reps):
+                elapsed = 0.0
+                run_digests: list[str] = []
+                sim_makespan = 0.0
+                served = 0
+                for spec in specs:
+                    scheduler = _gtm_variant_scheduler(
+                        spec, config_overrides, False)
+                    workload = episode_workload(spec)
+                    start = _CLOCK()
+                    result = scheduler.run(workload)
+                    elapsed += _CLOCK() - start
+                    if rep == 0:
+                        run_digests.append(
+                            _episode_digest(scheduler, result))
+                        sim_makespan += result.stats.makespan
+                        certifier = getattr(scheduler.last_gtm,
+                                            "certifier", None)
+                        if certifier is not None:
+                            served += certifier.reads_served
+                if rep == 0:
+                    digests[label] = run_digests
+                    makespans[label] = sim_makespan
+                    lock_free_reads[label] = served
+                if best_elapsed is None or elapsed < best_elapsed:
+                    best_elapsed = elapsed
+            rows.append({
+                "label": label,
+                "gtm_shards": config_overrides["gtm_shards"],
+                "mvcc_reads": config_overrides.get("mvcc_reads", False),
+                "elapsed_s": best_elapsed,
+                "episodes_per_sec": count / max(best_elapsed, 1e-12),
+                "sim_makespan_s": makespans[label],
+                "lock_free_reads": lock_free_reads[label],
+            })
+        divergence = _first_digest_divergence(
+            "monolith", digests["monolith"],
+            "fed-1shard", digests["fed-1shard"])
+        if divergence is not None:
+            divergence["tier"] = tier
+            identity_failures.append(divergence)
+        tier_row: dict[str, Any] = {
+            "tier": tier,
+            "episodes": count,
+            "variants": rows,
+            "identity_identical": divergence is None,
+        }
+        if tier == "read-heavy":
+            locking = next(r for r in rows
+                           if r["label"] == MVCC_LOCKING_LABEL)
+            mvcc = next(r for r in rows
+                        if r["label"] == MVCC_VARIANT[0])
+            mvcc_gate = {
+                "locking_label": locking["label"],
+                "mvcc_label": mvcc["label"],
+                "lock_free_reads": mvcc["lock_free_reads"],
+                "sim_makespan_locking_s": locking["sim_makespan_s"],
+                "sim_makespan_mvcc_s": mvcc["sim_makespan_s"],
+                "mvcc_vs_locking_eps":
+                    mvcc["episodes_per_sec"]
+                    / max(locking["episodes_per_sec"], 1e-12),
+                "mvcc_dominates":
+                    mvcc["sim_makespan_s"] < locking["sim_makespan_s"]
+                    and mvcc["lock_free_reads"] > 0,
+            }
+            tier_row["mvcc"] = mvcc_gate
+        tiers.append(tier_row)
+    return {
+        "seed": seed,
+        "tiers": tiers,
+        "identity_identical": not identity_failures,
+        "identity_failures": identity_failures,
+        "mvcc": mvcc_gate,
     }
 
 
@@ -696,6 +882,7 @@ def run_perf(profile_name: str = "smoke", seed: int = 2008,
     pump = bench_pump(profile)
     throughput = bench_throughput(profile)
     episodes = bench_episodes(profile, seed=seed)
+    federation = bench_federation_scaling(profile, seed=seed)
     backend_sst = bench_backend_sst(profile)
     differential = bench_differential(profile, seed=seed, jobs=jobs)
     backend_differential = bench_backend_differential(profile, seed=seed,
@@ -719,6 +906,7 @@ def run_perf(profile_name: str = "smoke", seed: int = 2008,
         },
         "throughput": throughput,
         "episode_throughput": episodes,
+        "federation_scaling": federation,
         "backend_sst": backend_sst,
         "differential": differential,
         "backend_differential": backend_differential,
@@ -778,6 +966,26 @@ def render_summary(payload: dict[str, Any]) -> str:
                 f"episodes/sec [{tier_row['tier']}, "
                 f"{tier_row['episodes']} eps]: {rates}  "
                 f"(identical={tier_row['outcomes_identical']})")
+    federation = payload.get("federation_scaling")
+    if federation:
+        for tier_row in federation["tiers"]:
+            rates = ", ".join(
+                f"{v['label']} {v['episodes_per_sec']:.0f}"
+                for v in tier_row["variants"])
+            lines.append(
+                f"federation eps/sec [{tier_row['tier']}, "
+                f"{tier_row['episodes']} eps]: {rates}  "
+                f"(1shard-identical="
+                f"{tier_row['identity_identical']})")
+        mvcc = federation.get("mvcc")
+        if mvcc:
+            lines.append(
+                f"mvcc reads [read-heavy]: {mvcc['lock_free_reads']} "
+                f"reads served lock-free, sim makespan "
+                f"{mvcc['sim_makespan_locking_s']:.1f}s locking -> "
+                f"{mvcc['sim_makespan_mvcc_s']:.1f}s mvcc, "
+                f"{mvcc['mvcc_vs_locking_eps']:.2f}x eps/sec  "
+                f"(dominates={mvcc['mvcc_dominates']})")
     backend_sst = payload.get("backend_sst")
     if backend_sst:
         for run in backend_sst["runs"]:

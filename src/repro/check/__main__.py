@@ -8,12 +8,20 @@ Examples::
         --emit-test tests/check/test_regression_auto.py
     python -m repro.check --backend-differential --scheduler all \\
         --episodes 200 --jobs auto
+    python -m repro.check --federation-differential --scheduler all \\
+        --episodes 200 --jobs auto
 
 ``--backend-differential`` switches from the oracle campaign to the
 memory-vs-SQLite LDBS differential: every episode runs once per
 backend and any trace / permanent-state / commit-order-witness /
 invariant / LDBS-dump divergence fails the run (the CI
 ``backend-differential`` job).
+
+``--federation-differential`` runs every episode once per federation
+variant (monolith, 1/2/4 shards, 4 shards + MVCC reads): the 1-shard
+federation must be trace-identical to the monolith, and every variant
+must pass the serializability oracle and the invariant sweep (the CI
+``federation-differential`` job).
 
 Exit status 0 = every episode passed the serializability oracle and
 the invariant suite; 1 = at least one failure (the minimized episode
@@ -26,7 +34,10 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.check.differential import run_backend_differential_campaign
+from repro.check.differential import (
+    run_backend_differential_campaign,
+    run_federation_differential_campaign,
+)
 from repro.check.fuzzer import SCHEDULER_NAMES, FuzzConfig
 from repro.check.runner import (
     CampaignReport,
@@ -74,6 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the memory-vs-SQLite LDBS backend "
                              "differential instead of the oracle "
                              "campaign; any divergence fails the run")
+    parser.add_argument("--federation-differential", action="store_true",
+                        help="run the monolith-vs-federated GTM "
+                             "differential: the 1-shard federation must "
+                             "be trace-identical to the monolith and "
+                             "every multi-shard variant must pass the "
+                             "serializability oracle and invariants")
     parser.add_argument("--observe", action="store_true",
                         help="record per-episode metrics and print the "
                              "merged fleet table (digest-neutral: never "
@@ -116,8 +133,8 @@ def _report_failures(report: CampaignReport,
             print(report.regression_test)
 
 
-def _run_backend_differential(args: argparse.Namespace,
-                              schedulers: list[str]) -> int:
+def _run_differential(args: argparse.Namespace, schedulers: list[str],
+                      campaign, tag: str) -> int:
     exit_code = 0
     for scheduler in schedulers:
         config = FuzzConfig(scheduler=scheduler,
@@ -130,9 +147,9 @@ def _run_backend_differential(args: argparse.Namespace,
                          _name: str = scheduler) -> None:
                 done = index + 1
                 if done % 100 == 0 or done == _total:
-                    print(f"[backend-diff {_name}] {done}/{_total} "
+                    print(f"[{tag} {_name}] {done}/{_total} "
                           f"episodes", file=sys.stderr)
-        report = run_backend_differential_campaign(
+        report = campaign(
             config, args.seed, args.episodes,
             max_divergences=args.max_failures,
             progress=progress, jobs=args.jobs,
@@ -151,7 +168,13 @@ def main(argv: list[str] | None = None) -> int:
     schedulers = (list(SCHEDULER_NAMES) if args.scheduler == "all"
                   else [args.scheduler])
     if args.backend_differential:
-        return _run_backend_differential(args, schedulers)
+        return _run_differential(args, schedulers,
+                                 run_backend_differential_campaign,
+                                 "backend-diff")
+    if args.federation_differential:
+        return _run_differential(args, schedulers,
+                                 run_federation_differential_campaign,
+                                 "federation-diff")
     exit_code = 0
     for scheduler in schedulers:
         config = FuzzConfig(scheduler=scheduler,

@@ -79,8 +79,27 @@ BACKEND_VARIANTS: tuple[tuple[str, dict[str, Any]], ...] = (
     ("sqlite", {"ldbs_backend": "sqlite"}),
 )
 
+#: (label, GTMConfig overrides) for the federation axis
+#: (``mode="federation"``): the monolithic facade against federated
+#: coordinators at increasing shard counts, plus the MVCC read path.
+#: Only the 1-shard federation is held to bit-identity with the
+#: monolith (same subsystems, same tick bracket, one partition); at
+#: N >= 2 shards the re-police drain order legitimately differs, so
+#: those runs are held to the serializability oracle and the invariant
+#: sweeps instead.
+FEDERATION_VARIANTS: tuple[tuple[str, dict[str, Any]], ...] = (
+    ("monolith", {"gtm_shards": 0}),
+    ("federated-1shard", {"gtm_shards": 1}),
+    ("federated-2shard", {"gtm_shards": 2}),
+    ("federated-4shard", {"gtm_shards": 4}),
+    ("federated-4shard-mvcc", {"gtm_shards": 4, "mvcc_reads": True}),
+)
+
+#: Federation variants compared bit-for-bit against the monolith run.
+FEDERATION_IDENTITY_LABELS = frozenset({"federated-1shard"})
+
 #: Comparison axes accepted by the campaign entry points.
-DIFFERENTIAL_MODES: tuple[str, ...] = ("engine", "backend")
+DIFFERENTIAL_MODES: tuple[str, ...] = ("engine", "backend", "federation")
 
 
 @dataclass
@@ -98,6 +117,10 @@ class VariantRun:
     #: the LDBS backend's committed state (``backend.dump()``), only
     #: populated in backend mode where SSTs write a real database.
     ldbs: dict[str, Any] | None = None
+    #: serializability-oracle violations (federation mode: N-shard runs
+    #: are not held to bit-identity, but their final state must still
+    #: be explained by some serial order).
+    oracle: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -156,7 +179,7 @@ def comparison_digest(comparison: EpisodeComparison) -> str:
             {"label": run.label, "trace": run.trace,
              "permanent": run.permanent, "violations": run.violations,
              "crash": run.crash, "witness": run.witness,
-             "ldbs": run.ldbs}
+             "ldbs": run.ldbs, "oracle": run.oracle}
             for run in comparison.runs],
     }
     canonical = json.dumps(payload, sort_keys=True, default=repr)
@@ -177,7 +200,8 @@ def _gtm_variant_scheduler(spec: EpisodeSpec,
 
 
 def _run_variant(spec: EpisodeSpec, label: str,
-                 build: Callable[[], Any]) -> VariantRun:
+                 build: Callable[[], Any],
+                 oracle: bool = False) -> VariantRun:
     run = VariantRun(label=label)
     scheduler = build()
     try:
@@ -193,6 +217,14 @@ def _run_variant(spec: EpisodeSpec, label: str,
             for name, obj in gtm.objects.items()}
         run.violations = check_episode_invariants(gtm)
         run.witness = list(gtm.history.commit_order)
+        if oracle:
+            from repro.check.oracle import check_episode, record_gtm
+            report = check_episode(record_gtm(gtm))
+            if not report.serializable:
+                run.oracle = [
+                    f"no serial order explains the final state "
+                    f"({report.committed} committed, "
+                    f"{report.orders_tried} orders tried)"]
     backend = getattr(scheduler, "last_backend", None)
     if backend is not None:
         run.ldbs = backend.dump()
@@ -226,6 +258,12 @@ def compare_episode(spec: EpisodeSpec,
                                  _gtm_variant_scheduler(spec, o, observe,
                                                         bind_ldbs=True))
                     for label, overrides in BACKEND_VARIANTS]
+        elif mode == "federation":
+            runs = [_run_variant(spec, label,
+                                 lambda o=overrides:
+                                 _gtm_variant_scheduler(spec, o, observe),
+                                 oracle=True)
+                    for label, overrides in FEDERATION_VARIANTS]
         else:
             runs = [_run_variant(spec, label,
                                  lambda o=overrides:
@@ -247,9 +285,18 @@ def compare_episode(spec: EpisodeSpec,
             comparison.diffs.append(f"{run.label}: crashed:\n{run.crash}")
         for violation in run.violations:
             comparison.diffs.append(f"{run.label}: invariant: {violation}")
+        for violation in run.oracle:
+            comparison.diffs.append(f"{run.label}: oracle: {violation}")
     if any(run.crash for run in runs):
         return comparison
-    for run in runs[1:]:
+    identity_runs = runs[1:]
+    if mode == "federation" and spec.scheduler == "gtm":
+        # N-shard coordinators may legitimately schedule differently
+        # (per-shard re-police drain order); only the 1-shard
+        # federation is held to bit-identity with the monolith.
+        identity_runs = [run for run in runs[1:]
+                         if run.label in FEDERATION_IDENTITY_LABELS]
+    for run in identity_runs:
         if run.trace != baseline.trace:
             comparison.diffs.append(
                 f"{run.label} trace != {baseline.label} trace: "
@@ -369,6 +416,17 @@ def run_backend_differential_campaign(
     with ``mode="backend"`` (the CI ``backend-differential`` job)."""
     return run_differential_campaign(config, seed, episodes,
                                      mode="backend", **kwargs)
+
+
+def run_federation_differential_campaign(
+        config: FuzzConfig, seed: int, episodes: int,
+        **kwargs: Any) -> DifferentialReport:
+    """The monolith-vs-federation campaign:
+    :func:`run_differential_campaign` with ``mode="federation"`` —
+    1-shard identity, N-shard oracle + invariants (the CI
+    ``federation-differential`` job)."""
+    return run_differential_campaign(config, seed, episodes,
+                                     mode="federation", **kwargs)
 
 
 def _recompare_or_crash(config: FuzzConfig, seed: int, index: int,

@@ -126,6 +126,22 @@ class GTMConfig:
     #: schedulers, the check harness and the service; the backends are
     #: proven state-identical by the backend-differential campaign.
     ldbs_backend: str = "memory"
+    #: GTM federation shards: 0 keeps the monolithic facade; N >= 1
+    #: builds a :class:`repro.federation.FederatedTransactionManager`
+    #: with N object-partitioned shards, each running its own
+    #: admission/commit/sleep subsystems under a commitment-ordering
+    #: coordinator.  Consumed by ``build_transaction_manager`` — the
+    #: monolithic facade ignores it.  The federation differential
+    #: asserts 1-shard federated runs are trace-identical to this class.
+    gtm_shards: int = 0
+    #: Federation-only: admit the READ class without ever entering the
+    #: wait queue, against a ring of recent committed versions
+    #: (multi-version ``X_permanent``).  Implies a 1-shard federation
+    #: when ``gtm_shards`` is 0.
+    mvcc_reads: bool = False
+    #: Committed versions retained per object for MVCC reads; a reader
+    #: whose pinned snapshot falls off the ring aborts (snapshot-too-old).
+    version_ring: int = 8
 
 
 class GlobalTransactionManager:

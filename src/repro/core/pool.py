@@ -58,6 +58,17 @@ class FreeList(Generic[T]):
         if len(self._free) < self.max_size:
             self._free.append(record)
 
+    def drain(self) -> None:
+        """Discard every pooled record (back to the cold state).
+
+        Recycled records go to the garbage collector; the telemetry
+        counters are untouched.  Observers drain the process-wide pools
+        at attach time so a measured episode's created/reused split
+        starts from a known-cold pool — identical in a long-lived
+        process and a fresh :mod:`repro.parallel` worker.
+        """
+        self._free.clear()
+
     def __len__(self) -> int:
         return len(self._free)
 

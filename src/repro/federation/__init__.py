@@ -1,0 +1,70 @@
+"""Object-partitioned GTM federation (see docs/PERFORMANCE.md §10).
+
+The monolithic :class:`~repro.core.gtm.GlobalTransactionManager` runs
+one lock table, one admission controller and one commit pipeline; after
+PR 8 flattened the per-event constants, that single serialization point
+*is* the remaining structural ceiling.  This package partitions the
+managed objects across N independent shards — each with its own
+admission/commit/sleep subsystems — under a coordinator that certifies
+cross-shard transactions via commitment ordering and (optionally)
+serves the READ class lock-free from versioned permanent state.
+
+Module map:
+
+- :mod:`~repro.federation.routing` — stable crc32 object partitioning
+  and the merged lock directory;
+- :mod:`~repro.federation.shard` — one partition's subsystem bundle;
+- :mod:`~repro.federation.certifier` — per-shard commit-order logs,
+  snapshot pins, the promotion order check and the inversion audit;
+- :mod:`~repro.federation.manager` — the facade-compatible coordinator.
+
+Every construction site (schedulers, the check harness, the bench
+harness, the live service) goes through
+:func:`build_transaction_manager`, which keeps ``GTMConfig`` the single
+switch: ``gtm_shards=0`` (the default) returns the monolith unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.federation.certifier import CommitLogEntry, CommitmentOrderCertifier
+from repro.federation.manager import FederatedTransactionManager
+from repro.federation.routing import FederationDirectory, ObjectRouter
+from repro.federation.shard import FederationShard
+
+if TYPE_CHECKING:
+    from repro.core.gtm import GlobalTransactionManager
+
+__all__ = [
+    "CommitLogEntry",
+    "CommitmentOrderCertifier",
+    "FederatedTransactionManager",
+    "FederationDirectory",
+    "FederationShard",
+    "ObjectRouter",
+    "build_transaction_manager",
+]
+
+
+def build_transaction_manager(
+        config=None, clock=None, sst_executor=None, observer=None
+) -> "GlobalTransactionManager | FederatedTransactionManager":
+    """The one construction seam for monolith vs. federation.
+
+    ``GTMConfig(gtm_shards=0, mvcc_reads=False)`` — the default —
+    returns the plain :class:`GlobalTransactionManager`; any shard
+    count >= 1 (or ``mvcc_reads=True``, which implies one shard)
+    returns the federated coordinator.  Both are facade-compatible, so
+    callers never branch again after construction.
+    """
+    from repro.core.gtm import GlobalTransactionManager, GTMConfig
+
+    config = config or GTMConfig()
+    if config.gtm_shards <= 0 and not config.mvcc_reads:
+        return GlobalTransactionManager(
+            config=config, clock=clock, sst_executor=sst_executor,
+            observer=observer)
+    return FederatedTransactionManager(
+        config=config, clock=clock, sst_executor=sst_executor,
+        observer=observer)

@@ -1,0 +1,205 @@
+"""Commitment-ordering certification for cross-shard transactions.
+
+Each federation shard keeps a *commit-order log*: the sequence of
+transactions externalized against its objects, stamped with a per-shard
+commit sequence number (csn).  Commitment ordering (the multi-site
+recipe of "A Concurrency Control Method Based on Commitment Ordering in
+Mobile Databases") demands that any two transactions appearing in more
+than one shard's log appear in the *same* relative order everywhere —
+an inversion would externalize a cycle no serial order can explain.
+
+The federation earns that property two ways:
+
+- **by construction** — the coordinator externalizes every commit at a
+  single global point, appending to all touched shard logs atomically
+  (:meth:`CommitmentOrderCertifier.externalize`), so logs can never
+  disagree.  :meth:`inversions` is the checkable form, asserted by the
+  invariant sweeps and the certifier property tests;
+- **by certification** — the one place a stale order could still leak
+  into permanent state is an MVCC reader *promoting* its lock-free
+  snapshot into a write.  A read pinned at csn ``s`` that later writes
+  the object after another transaction externalized csn ``s+1`` would
+  chain its virtual value off an image that is no longer the latest —
+  exactly the inverted order the protocol forbids.
+  :meth:`certify_promotion` rejects the promotion (the coordinator
+  aborts the transaction, mapped onto the
+  :class:`~repro.errors.CertificationError` taxonomy).
+
+``validate_promotions=False`` deliberately skips that one order check.
+It exists *only* for the fault-injection control in
+``tests/federation/test_fault_injection.py``, which proves the
+serializability oracle catches the resulting anomaly — the same
+"break the protocol on purpose, watch the checker object" method the
+late-grant control of PR 2 established.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import CertificationError
+from repro.ldbs.versions import Version
+
+__all__ = ["CommitmentOrderCertifier", "CommitLogEntry"]
+
+
+class CommitLogEntry:
+    """One externalized commit in a shard's commit-order log."""
+
+    __slots__ = ("csn", "txn_id", "objects")
+
+    def __init__(self, csn: int, txn_id: str,
+                 objects: tuple[str, ...]) -> None:
+        self.csn = csn
+        self.txn_id = txn_id
+        self.objects = objects
+
+    def __repr__(self) -> str:
+        return (f"<CommitLogEntry csn={self.csn} txn={self.txn_id!r} "
+                f"objects={self.objects}>")
+
+
+class CommitmentOrderCertifier:
+    """Per-shard commit-order logs, snapshot pins and the order check."""
+
+    def __init__(self, shard_count: int,
+                 validate_promotions: bool = True) -> None:
+        self.shard_count = shard_count
+        #: the fault-injection seam: False skips the promotion order
+        #: check (and nothing else).  Never disable outside tests.
+        self.validate_promotions = validate_promotions
+        #: per-shard commit sequence numbers (csn 0 = initial images).
+        self.shard_csn: list[int] = [0] * shard_count
+        #: per-shard externalization order, for the inversion audit.
+        self.commit_logs: list[list[CommitLogEntry]] = [
+            [] for _ in range(shard_count)]
+        #: object name -> csn of its newest externalized version.
+        self.object_csn: dict[str, int] = {}
+        #: txn -> shard index -> pinned csn (the MVCC read timestamp,
+        #: fixed at the transaction's first lock-free read on the shard).
+        self.pins: dict[str, dict[int, int]] = {}
+        #: txn -> object name -> the version its reads were served from.
+        self.served: dict[str, dict[str, Version]] = {}
+        #: telemetry (per episode): reads served lock-free, promotions
+        #: certified, promotions rejected.
+        self.reads_served = 0
+        self.promotions_checked = 0
+        self.promotions_rejected = 0
+
+    # ------------------------------------------------------------------
+    # the read side: pins and served versions
+    # ------------------------------------------------------------------
+
+    def pin(self, txn_id: str, shard_index: int) -> int:
+        """The transaction's read timestamp on a shard.
+
+        The first lock-free read on a shard pins its *current* csn;
+        every later read on that shard reuses the pin, so all of a
+        transaction's reads against one shard observe one consistent
+        cut of that shard's history.
+        """
+        pins = self.pins.setdefault(txn_id, {})
+        pinned = pins.get(shard_index)
+        if pinned is None:
+            pinned = pins[shard_index] = self.shard_csn[shard_index]
+        return pinned
+
+    def record_served(self, txn_id: str, object_name: str,
+                      version: Version) -> None:
+        """Remember which version answered a transaction's reads."""
+        self.served.setdefault(txn_id, {})[object_name] = version
+        self.reads_served += 1
+
+    def served_version(self, txn_id: str,
+                       object_name: str) -> Version | None:
+        return self.served.get(txn_id, {}).get(object_name)
+
+    # ------------------------------------------------------------------
+    # the order check: snapshot promotion
+    # ------------------------------------------------------------------
+
+    def certify_promotion(self, txn_id: str, object_name: str) -> None:
+        """Certify a lock-free reader's first write on a read object.
+
+        The served version must still be the object's newest
+        externalized one; otherwise granting the write would chain the
+        transaction's virtual value off a superseded image — its commit
+        would externalize an order that inverts the commit(s) already
+        logged after its pin.  Raises :class:`CertificationError`; the
+        coordinator translates that into an abort.
+        """
+        served = self.served_version(txn_id, object_name)
+        if served is None:
+            return
+        self.promotions_checked += 1
+        if not self.validate_promotions:  # fault-injection control only
+            return
+        current = self.object_csn.get(object_name, 0)
+        if current != served.csn:
+            self.promotions_rejected += 1
+            raise CertificationError(
+                txn_id,
+                f"snapshot of {object_name!r} pinned at csn "
+                f"{served.csn} is stale: csn {current} already "
+                f"externalized")
+
+    # ------------------------------------------------------------------
+    # the write side: the single externalization point
+    # ------------------------------------------------------------------
+
+    def externalize(self, txn_id: str,
+                    objects_by_shard: Mapping[int, Iterable[str]]
+                    ) -> dict[int, int]:
+        """Log one committed transaction on every shard it touched.
+
+        Appends to each touched shard's log under a fresh csn — one
+        atomic step in the coordinator, which is what makes the
+        per-shard orders consistent by construction.  Returns the csn
+        assigned per shard (the coordinator stamps the published
+        versions with it).
+        """
+        assigned: dict[int, int] = {}
+        for shard_index in sorted(objects_by_shard):
+            names = tuple(objects_by_shard[shard_index])
+            csn = self.shard_csn[shard_index] + 1
+            self.shard_csn[shard_index] = csn
+            self.commit_logs[shard_index].append(
+                CommitLogEntry(csn, txn_id, names))
+            for name in names:
+                self.object_csn[name] = csn
+            assigned[shard_index] = csn
+        return assigned
+
+    def forget(self, txn_id: str) -> None:
+        """Drop a finished transaction's pins and served versions."""
+        self.pins.pop(txn_id, None)
+        self.served.pop(txn_id, None)
+
+    # ------------------------------------------------------------------
+    # the audit: no inverted externalized order, ever
+    # ------------------------------------------------------------------
+
+    def inversions(self) -> list[tuple[str, str, int, int]]:
+        """Transaction pairs externalized in opposite orders on two shards.
+
+        Returns ``(first, second, shard_a, shard_b)`` tuples where
+        ``first`` precedes ``second`` on ``shard_a`` but follows it on
+        ``shard_b`` — always empty for a correct coordinator; the
+        invariant sweeps and property tests assert exactly that.
+        """
+        positions: list[dict[str, int]] = []
+        for log in self.commit_logs:
+            seen: dict[str, int] = {}
+            for position, entry in enumerate(log):
+                seen.setdefault(entry.txn_id, position)
+            positions.append(seen)
+        found: list[tuple[str, str, int, int]] = []
+        for a in range(self.shard_count):
+            for b in range(a + 1, self.shard_count):
+                shared = positions[a].keys() & positions[b].keys()
+                ordered = sorted(shared, key=positions[a].__getitem__)
+                for i, first in enumerate(ordered):
+                    for second in ordered[i + 1:]:
+                        if positions[b][first] > positions[b][second]:
+                            found.append((first, second, a, b))
+        return found

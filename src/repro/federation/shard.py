@@ -1,0 +1,87 @@
+"""One federation shard: a GTM's subsystems scoped to an object partition.
+
+A shard owns the full per-object machinery the monolithic facade wires
+in :class:`~repro.core.gtm.GlobalTransactionManager` — its own lock
+table, admission controller (Table I semantic locking, wait queues,
+the ⟨unlock, X⟩ pump), commit pipeline (reconciliation + staging +
+deferred-commit replay) and sleep manager — but over *shared*
+collaborators: one conflict checker, grant policy, throttle, deadlock
+policy, event bus, transaction map, history log and clock, all owned by
+the coordinator.  That sharing is deliberate: a transaction spans
+shards, so everything keyed by transaction (states, wait-for edges,
+history, observers) must stay global, while everything keyed by object
+(locks, staging, wait queues, versions) partitions cleanly.  It is also
+what makes a 1-shard federation structurally isomorphic to the
+monolith — the trace-identity leg of the federation differential.
+
+The shard's pipeline gets ``sst_executor=None``: SST execution is a
+*global* commit step (one SST per transaction, spanning shards), driven
+by the coordinator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.core.admission import AdmissionController, LockTable
+from repro.core.commit_pipeline import CommitPipeline
+from repro.core.conflicts import ConflictChecker
+from repro.core.events import EventBus
+from repro.core.history import OperationLog
+from repro.core.objects import ManagedObject
+from repro.core.policies import DeadlockPolicy
+from repro.core.reconciliation import ReconcilerRegistry
+from repro.core.sleep_manager import SleepManager
+from repro.core.transaction import GTMTransaction
+from repro.ldbs.versions import VersionStore
+
+__all__ = ["FederationShard"]
+
+
+class FederationShard:
+    """Admission, commit and sleep subsystems for one object partition."""
+
+    def __init__(self, index: int, *,
+                 checker: ConflictChecker,
+                 registry: ReconcilerRegistry,
+                 history: OperationLog,
+                 grant_policy: Any,
+                 throttle: Any,
+                 deadlock_policy: DeadlockPolicy,
+                 bus: EventBus,
+                 transactions: Mapping[str, GTMTransaction],
+                 clock: Callable[[], float],
+                 abort_txn: Callable[[str, str], None],
+                 abort_from_committing: Callable[..., None],
+                 version_ring: int = 8) -> None:
+        self.index = index
+        self.lock_table = LockTable()
+        self.admission = AdmissionController(
+            lock_table=self.lock_table, checker=checker,
+            grant_policy=grant_policy, throttle=throttle,
+            deadlock_policy=deadlock_policy, bus=bus,
+            transactions=transactions, clock=clock, abort_txn=abort_txn)
+        self.pipeline = CommitPipeline(
+            registry=registry, history=history, bus=bus,
+            transactions=transactions,
+            sst_executor=None,  # the SST is a coordinator-level step
+            clock=clock, get_object=self.lock_table.get,
+            pump_unlock=self.admission.pump_unlock,
+            on_finished=deadlock_policy.on_finished,
+            abort_from_committing=abort_from_committing)
+        self.sleep_manager = SleepManager(
+            checker=checker, bus=bus,
+            pump_unlock=self.admission.pump_unlock,
+            regrant=self.admission.grant,
+            on_finished=deadlock_policy.on_finished)
+        #: multi-version permanent state for the MVCC read path.
+        self.versions = VersionStore(capacity=version_ring)
+
+    def register(self, obj: ManagedObject) -> ManagedObject:
+        """Adopt an object into this shard (directory + version seed)."""
+        self.versions.seed(obj.name, obj.permanent, obj.exists)
+        return obj
+
+    def __repr__(self) -> str:
+        return (f"<FederationShard {self.index} "
+                f"objects={len(self.lock_table)}>")

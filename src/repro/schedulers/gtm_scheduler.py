@@ -40,6 +40,7 @@ from repro.core.opclass import Invocation
 from repro.core.sst import SSTExecutor
 from repro.core.states import TransactionState
 from repro.core.transaction import GTMTransaction
+from repro.federation import build_transaction_manager
 from repro.ldbs.backend import LDBSBackend, create_backend
 from repro.ldbs.schema import Column, ColumnType, TableSchema
 from repro.metrics.collectors import MetricsCollector, TimelineObserver
@@ -183,7 +184,7 @@ class GTMScheduler(Scheduler):
             bindings = auto
             sst_executor = SSTExecutor(backend)
             self.last_backend = backend
-        gtm = GlobalTransactionManager(
+        gtm = build_transaction_manager(
             config=self.config.gtm_config,
             clock=lambda: engine.now,
             sst_executor=sst_executor,

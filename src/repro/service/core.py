@@ -31,12 +31,13 @@ from repro.errors import (
     WireFormatError,
 )
 from repro.core.events import GTMObserver
-from repro.core.gtm import GlobalTransactionManager, GrantOutcome
+from repro.core.gtm import GlobalTransactionManager, GrantOutcome, GTMConfig
 from repro.core.objects import ObjectBinding
 from repro.core.opclass import OperationClass
 from repro.core.sst import SSTExecutor
 from repro.core.states import TransactionState
 from repro.ldbs.backend import LDBSBackend, create_backend
+from repro.federation import build_transaction_manager
 from repro.ldbs.schema import Column, ColumnType, TableSchema
 from repro.obs.registry import MetricsRegistry
 from repro.service.protocol import build_invocation, error_frame
@@ -77,6 +78,11 @@ class ServiceConfig:
     #: members, or non-numeric values, stay virtual: their commits run
     #: no SST).  None keeps the whole service virtual.
     ldbs_backend: str | None = None
+    #: Protocol knobs for a service-built GTM (ignored when an explicit
+    #: ``gtm`` is passed in).  ``GTMConfig(gtm_shards=N)`` serves the
+    #: object space from N federated shards; ``mvcc_reads=True`` makes
+    #: the READ class never-blocking (see docs/PERFORMANCE.md §10).
+    gtm_config: GTMConfig | None = None
 
 
 class _ServiceObserver(GTMObserver):
@@ -111,10 +117,12 @@ class GTMService:
                 (Column("name", ColumnType.TEXT),
                  Column("value", ColumnType.FLOAT, nullable=True)),
                 primary_key="name"))
-            gtm = GlobalTransactionManager(
+            gtm = build_transaction_manager(
+                config=self.config.gtm_config,
                 clock=driver.clock,
                 sst_executor=SSTExecutor(self.backend))
-        self.gtm = gtm or GlobalTransactionManager(clock=driver.clock)
+        self.gtm = gtm or build_transaction_manager(
+            config=self.config.gtm_config, clock=driver.clock)
         self.gtm.subscribe(_ServiceObserver(self))
         self.sessions = SessionStore()
         self.metrics = MetricsRegistry()
