@@ -23,6 +23,15 @@ federation must be trace-identical to the monolith, and every variant
 must pass the serializability oracle and the invariant sweep (the CI
 ``federation-differential`` job).
 
+``--service-fuzz`` fuzzes the live-service layer instead of the bare
+schedulers: seeded chaos episodes drive :class:`GTMService` through
+the clock/driver seam — drops, reconnects, token replays,
+exact-instant BTO expiries, outbox overflows, backend conflict bursts
+— and every episode must satisfy the wire contract, the service
+bookkeeping sweep, the GTM invariants, and the serializability oracle
+(the CI ``service-fuzz`` job).  ``--gtm-shards N`` pins the campaign
+to one federation layout (default: mixed monolith / 2-shard).
+
 Exit status 0 = every episode passed the serializability oracle and
 the invariant suite; 1 = at least one failure (the minimized episode
 and its regression test are printed / written).
@@ -43,6 +52,10 @@ from repro.check.runner import (
     CampaignReport,
     rehydrate_outcome,
     run_campaign,
+)
+from repro.check.service_fuzzer import (
+    ServiceFuzzConfig,
+    run_service_campaign,
 )
 from repro.metrics.trace import write_episode_trace
 from repro.obs.export import render_frame_summary
@@ -91,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "be trace-identical to the monolith and "
                              "every multi-shard variant must pass the "
                              "serializability oracle and invariants")
+    parser.add_argument("--service-fuzz", action="store_true",
+                        help="fuzz the GTMService frame handler under "
+                             "a virtual clock (drops, reconnects, BTO "
+                             "expiries, outbox overflows, backend "
+                             "faults) instead of the bare schedulers")
+    parser.add_argument("--gtm-shards", type=int, default=None,
+                        metavar="N",
+                        help="with --service-fuzz: serve every episode "
+                             "from N federated shards (0 = monolith; "
+                             "default mixes monolith and 2 shards)")
     parser.add_argument("--observe", action="store_true",
                         help="record per-episode metrics and print the "
                              "merged fleet table (digest-neutral: never "
@@ -163,8 +186,49 @@ def _run_differential(args: argparse.Namespace, schedulers: list[str],
     return exit_code
 
 
+def _run_service_fuzz(args: argparse.Namespace) -> int:
+    config = ServiceFuzzConfig(gtm_shards=args.gtm_shards)
+    progress = None
+    if not args.quiet:
+        def progress(index: int, outcome: object,
+                     _total: int = args.episodes) -> None:
+            done = index + 1
+            if done % 100 == 0 or done == _total:
+                print(f"[service-fuzz] {done}/{_total} episodes",
+                      file=sys.stderr)
+    report = run_service_campaign(
+        config, args.seed, args.episodes,
+        max_failures=args.max_failures,
+        shrink_failures=not args.no_shrink,
+        progress=progress, jobs=args.jobs,
+        chunk_size=args.chunk_size)
+    print(report.summary())
+    if report.ok:
+        return 0
+    for outcome in report.failures:
+        print()
+        print(outcome.summary())
+    if report.shrunk is not None:
+        print()
+        print(f"minimized: {report.shrunk.describe()}")
+        print(f"  {report.shrunk!r}")
+    if report.regression_test:
+        if args.emit_test:
+            target = Path(args.emit_test)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(report.regression_test, encoding="utf-8")
+            print(f"regression test written to {target}")
+        else:
+            print()
+            print("--- ready-to-paste regression test ---")
+            print(report.regression_test)
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.service_fuzz:
+        return _run_service_fuzz(args)
     schedulers = (list(SCHEDULER_NAMES) if args.scheduler == "all"
                   else [args.scheduler])
     if args.backend_differential:

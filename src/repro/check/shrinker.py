@@ -151,3 +151,138 @@ def {name}():
     outcome = run_episode(spec)
     assert outcome.ok, outcome.summary()
 '''
+
+
+# ---------------------------------------------------------------------------
+# service-episode shrinking (specs from repro.check.service_fuzzer)
+# ---------------------------------------------------------------------------
+#
+# The passes below work structurally on ServiceEpisodeSpec via
+# dataclasses.replace, so this module needs no runtime import of the
+# service fuzzer (which imports us for campaign rendering).
+
+
+def shrink_service_episode(spec, still_fails,
+                           max_rounds: int = 20):
+    """Minimize a failing :class:`ServiceEpisodeSpec`.
+
+    Greedy passes to a fixpoint: drop whole clients, drop individual
+    client actions, drop injected backend faults, reset chaos knobs
+    (shards, backend, retirement, outbox bound) to their tame
+    defaults, prune unreferenced objects.  ``still_fails(spec)`` must
+    be True on entry.
+    """
+    current = _prune_service_objects(spec)
+    if not still_fails(current):
+        current = spec
+    for _ in range(max_rounds):
+        changed = False
+        for shrink_pass in (_drop_clients, _drop_client_actions,
+                            _drop_fault_calls, _tame_service_knobs):
+            current, pass_changed = shrink_pass(current, still_fails)
+            changed = changed or pass_changed
+        if not changed:
+            break
+    return current
+
+
+def _drop_clients(spec, still_fails):
+    changed = False
+    index = len(spec.clients) - 1
+    while index >= 0 and len(spec.clients) > 1:
+        candidate = _prune_service_objects(replace(
+            spec,
+            clients=spec.clients[:index] + spec.clients[index + 1:]))
+        if still_fails(candidate):
+            spec = candidate
+            changed = True
+        index -= 1
+    return spec, changed
+
+
+def _drop_client_actions(spec, still_fails):
+    changed = False
+    for client_index in range(len(spec.clients)):
+        action_index = len(spec.clients[client_index].actions) - 1
+        while action_index >= 0 and \
+                len(spec.clients[client_index].actions) > 1:
+            client = spec.clients[client_index]
+            candidate = _prune_service_objects(replace(
+                spec,
+                clients=(spec.clients[:client_index]
+                         + (replace(client, actions=(
+                             client.actions[:action_index]
+                             + client.actions[action_index + 1:])),)
+                         + spec.clients[client_index + 1:])))
+            if still_fails(candidate):
+                spec = candidate
+                changed = True
+            action_index -= 1
+    return spec, changed
+
+
+def _drop_fault_calls(spec, still_fails):
+    changed = False
+    index = len(spec.fault_calls) - 1
+    while index >= 0:
+        candidate = replace(
+            spec, fault_calls=(spec.fault_calls[:index]
+                               + spec.fault_calls[index + 1:]))
+        if still_fails(candidate):
+            spec = candidate
+            changed = True
+        index -= 1
+    return spec, changed
+
+
+def _tame_service_knobs(spec, still_fails):
+    changed = False
+    for candidate in (
+            replace(spec, retire_finished=False),
+            replace(spec, gtm_shards=0),
+            replace(spec, max_outbox=1024),
+            replace(spec, backend=None, fault_calls=()),
+            replace(spec, backend="memory")):
+        if candidate == spec:
+            continue
+        if still_fails(candidate):
+            spec = candidate
+            changed = True
+    return spec, changed
+
+
+def _prune_service_objects(spec):
+    """Drop objects no remaining client op references."""
+    used = {action.object_name
+            for client in spec.clients for action in client.actions
+            if action.object_name is not None}
+    objects = tuple(entry for entry in spec.objects
+                    if entry[0] in used)
+    if not objects:
+        # keep one object: episodes with zero objects are degenerate
+        objects = spec.objects[:1]
+    return replace(spec, objects=objects)
+
+
+def render_service_regression_test(
+        spec, name: str = "test_shrunk_service_episode") -> str:
+    """Emit a pytest function pinning a minimized service episode."""
+    return f'''"""Auto-generated by repro.check --service-fuzz: minimized episode.
+
+Provenance: seed {spec.seed}, episode {spec.index}.  Re-generate with
+``python -m repro.check --service-fuzz --seed {spec.seed}``.
+"""
+
+from repro.check.service_fuzzer import (
+    ClientActionSpec,
+    ServiceClientSpec,
+    ServiceEpisodeSpec,
+    run_service_episode,
+)
+
+
+def {name}():
+    spec = {spec!r}
+    outcome = run_service_episode(spec)
+    assert outcome.ok, outcome.summary()
+'''

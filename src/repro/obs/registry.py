@@ -24,6 +24,7 @@ byte-identical snapshots.
 from __future__ import annotations
 
 import bisect
+import math
 from typing import Iterable
 
 from repro.errors import GTMError
@@ -123,6 +124,41 @@ class Histogram:
 
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Nearest-rank bucket selection with linear interpolation inside
+        the winning bucket, clamped to the observed ``[min, max]`` (so
+        a single observation reports itself, not a bucket edge).  The
+        estimate is deterministic — a pure function of the snapshot —
+        and its error is bounded by the bucket width, which is the
+        standard trade for not keeping raw samples.  None when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise GTMError(
+                f"histogram {self.name!r} quantile {q} outside [0, 1]")
+        if not self.count:
+            return None
+        if q == 0.0:
+            return self.min
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            below = cumulative
+            cumulative += bucket_count
+            if cumulative < rank:
+                continue
+            if index == len(self.buckets):
+                return self.max  # overflow bucket: only max is known
+            lower = self.buckets[index - 1] if index else 0.0
+            upper = self.buckets[index]
+            fraction = (rank - below) / bucket_count
+            value = lower + (upper - lower) * fraction
+            return min(max(value, self.min), self.max)
+        return self.max  # pragma: no cover — rank <= count always hits
 
     def snapshot(self) -> dict:
         return {"kind": self.kind, "buckets": list(self.buckets),

@@ -12,10 +12,14 @@ fire at exact virtual instants.
 
 Delivery model: every outbound frame — direct replies and server
 pushes alike — goes through the session's *sink* (one ordered stream
-per session).  A detached session has no sink; pushes for it are
-dropped, because the paper's ⟨sleep⟩ carries **state**, not messages,
-across the outage: the client learns what happened from the ⟨awake⟩
-revalidation when it returns.
+per session).  A detached session has no sink: the paper's ⟨sleep⟩
+carries **state**, not messages, across the outage.  That state
+includes request correlation — a late grant (or apply error) for a
+request id the client is still awaiting is *held* on the session and
+replayed right after the reconnect welcome, and transaction outcomes
+land in ``session.finished`` for the welcome frame.  Only
+uncorrelated pushes to a session that can never resume (expired,
+closed) are dropped.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from repro.errors import (
     ProtocolError,
     ReproError,
     SessionError,
+    SSTFailure,
     WireFormatError,
 )
 from repro.core.events import GTMObserver
@@ -244,6 +249,11 @@ class GTMService:
             session.finished.clear()
         session.sink = sink
         sink(welcome)
+        # Correlated pushes held across the outage go out first (they
+        # predate the ⟨awake⟩ revalidation's own pushes).
+        for pushed in session.held:
+            sink(pushed)
+        session.held.clear()
         for pushed in buffered:
             sink(pushed)
         self.metrics.counter("service_connects").inc()
@@ -407,6 +417,19 @@ class GTMService:
                 self._reply(session, {
                     "type": "aborted", "txn": txn_id,
                     "reason": "deadlock"}, fid)
+            elif txn.is_in(_TS.ACTIVE):
+                # The same end-of-tick cascade can instead *grant* the
+                # just-queued request (a victim's teardown pumped the
+                # unlock queue before invoke returned).  The grant hook
+                # saw no pending entry — the request id is not filed
+                # yet — so nothing was applied or pushed: apply and
+                # answer it here, or the id would dangle forever.
+                value = self.gtm.apply(txn_id, object_name, invocation)
+                self.metrics.counter("service_ops_granted").inc()
+                self._reply(session, {
+                    "type": "granted", "txn": txn_id,
+                    "object": object_name, "member": invocation.member,
+                    "value": value}, fid)
             else:
                 self._pending_ops.setdefault(txn_id, {}).setdefault(
                     (object_name, invocation.member), []).append(fid)
@@ -518,12 +541,21 @@ class GTMService:
                     self._pending_commits.discard(txn_id)
                     continue
                 if self.gtm.commit_ready(txn_id):
-                    self.gtm.try_finish_commit(txn_id)
+                    try:
+                        self.gtm.try_finish_commit(txn_id)
+                    except SSTFailure:
+                        # The pipeline already aborted the transaction
+                        # and its outcome push went out via the bus —
+                        # a failed deferred SST must not crash the
+                        # frame handler (or timer) that pumped it.
+                        pass
                     progress = True
-        if self.config.retire_finished and self._retire:
-            for txn_id in self._retire:
-                self.gtm.transactions.pop(txn_id, None)
-            self._retire.clear()
+        if self.config.retire_finished:
+            if self._retire:
+                for txn_id in self._retire:
+                    self.gtm.transactions.pop(txn_id, None)
+                self._retire.clear()
+            self.sessions.purge_finished()
 
     def _on_grant_hook(self, txn, obj, invocation) -> None:
         """Bus ``on_grant``: complete a queued op asynchronously."""
@@ -542,7 +574,7 @@ class GTMService:
         try:
             value = self.gtm.apply(txn.txn_id, obj.name, invocation)
         except ReproError as exc:
-            session.send(error_frame(exc, re=fid))
+            self._push_correlated(session, error_frame(exc, re=fid))
             return
         self.metrics.counter("service_ops_granted").inc()
         push = {"type": "granted", "txn": txn.txn_id,
@@ -550,7 +582,24 @@ class GTMService:
                 "value": value}
         if fid is not None:
             push["re"] = fid
-        session.send(push)
+        self._push_correlated(session, push)
+
+    def _push_correlated(self, session: Session,
+                         frame: dict[str, Any]) -> None:
+        """Deliver a request-correlated push, outage-proof.
+
+        A grant can land in the disconnect window itself: putting one
+        transaction to sleep unblocks a same-session sibling *before
+        the loop sleeps it too*, and the grant hook runs while the
+        sink is already gone.  Dropping the frame would leave its
+        request id dangling forever, so a detached session holds it
+        for the reconnect welcome instead.
+        """
+        if session.connected:
+            session.send(frame)
+        elif session.state is SessionState.DETACHED:
+            session.held.append(frame)
+        # expired/closed: the token never resumes — nothing to hold.
 
     def _on_finished(self, txn_id: str, outcome: str,
                      reason: str) -> None:

@@ -30,6 +30,7 @@ from typing import Any
 from repro.errors import GTMError, SessionError
 from repro.check.oracle import check_episode, record_gtm
 from repro.driver.asyncio_driver import AsyncioDriver
+from repro.obs.registry import MetricsRegistry
 from repro.service.client import ConnectionLost, ServiceClient
 from repro.service.core import GTMService, ServiceConfig
 from repro.service.server import (
@@ -37,6 +38,14 @@ from repro.service.server import (
     memory_connector,
     tcp_connector,
 )
+
+#: Commit-latency histogram edges in *milliseconds* of wall time.  The
+#: in-memory transport commits in tens of microseconds and a TCP churn
+#: run under load reaches seconds, so the ladder spans both; fixed
+#: edges keep merged snapshots byte-identical run to run.
+LATENCY_MS_BUCKETS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0)
 
 
 @dataclass
@@ -63,18 +72,8 @@ class LoadConfig:
 _OPS = ("read", "add", "assign", "mul")
 
 
-class _SessionStats:
-    __slots__ = ("committed", "aborted", "drops", "latencies")
-
-    def __init__(self) -> None:
-        self.committed = 0
-        self.aborted = 0
-        self.drops = 0
-        self.latencies: list[float] = []
-
-
 async def _run_session(index: int, cfg: LoadConfig, connector,
-                       stats: _SessionStats) -> None:
+                       metrics: MetricsRegistry) -> None:
     rng = random.Random(f"{cfg.seed}:{index}")
     loop = asyncio.get_event_loop()
     client = ServiceClient(*await connector())
@@ -101,7 +100,7 @@ async def _run_session(index: int, cfg: LoadConfig, connector,
                 for op_index in range(cfg.ops_per_txn):
                     if op_index == drop_at:
                         client.drop()
-                        stats.drops += 1
+                        metrics.counter("load_drops").inc()
                         await asyncio.sleep(cfg.reconnect_delay)
                         client = await _reconnect(
                             client, connector, token, cfg)
@@ -124,7 +123,7 @@ async def _run_session(index: int, cfg: LoadConfig, connector,
             except ConnectionLost:
                 # The transport died under us (e.g. server push race
                 # after an overflow): resume and settle the txn.
-                stats.drops += 1
+                metrics.counter("load_drops").inc()
                 await asyncio.sleep(cfg.reconnect_delay)
                 try:
                     client = await _reconnect(client, connector,
@@ -148,10 +147,13 @@ async def _run_session(index: int, cfg: LoadConfig, connector,
                 outcome = "aborted"
             finished += 1
             if outcome == "committed":
-                stats.committed += 1
-                stats.latencies.append(loop.time() - started)
+                metrics.counter("load_committed").inc()
+                metrics.histogram(
+                    "load_commit_latency_ms",
+                    LATENCY_MS_BUCKETS).observe(
+                        (loop.time() - started) * 1000.0)
             else:
-                stats.aborted += 1
+                metrics.counter("load_aborted").inc()
     finally:
         try:
             await client.bye()
@@ -230,18 +232,27 @@ async def run_load(cfg: LoadConfig) -> dict[str, Any]:
     else:
         connector = memory_connector(server)
 
-    stats = [_SessionStats() for _ in range(cfg.sessions)]
+    # One shared registry instead of per-session stat objects: sessions
+    # are coroutines on one loop, so counter/histogram updates need no
+    # locking, and the report reads the same instruments a deployment
+    # would scrape.
+    metrics = MetricsRegistry()
     wall_start = time.perf_counter()
     await asyncio.gather(*(
-        _run_session(index, cfg, connector, stats[index])
+        _run_session(index, cfg, connector, metrics)
         for index in range(cfg.sessions)))
     elapsed = time.perf_counter() - wall_start
     await server.shutdown()
 
-    committed = sum(s.committed for s in stats)
-    aborted = sum(s.aborted for s in stats)
-    drops = sum(s.drops for s in stats)
-    latencies = sorted(lat for s in stats for lat in s.latencies)
+    committed = int(metrics.counter("load_committed").total())
+    aborted = int(metrics.counter("load_aborted").total())
+    drops = int(metrics.counter("load_drops").total())
+    latency = metrics.histogram("load_commit_latency_ms",
+                                LATENCY_MS_BUCKETS)
+
+    def _quantile(q: float) -> float | None:
+        value = latency.quantile(q)
+        return None if value is None else round(value, 3)
 
     oracle = check_episode(record_gtm(service.gtm))
     report = {
@@ -253,26 +264,18 @@ async def run_load(cfg: LoadConfig) -> dict[str, Any]:
         "drops": drops,
         "txn_per_s": round(committed / elapsed, 1) if elapsed else 0.0,
         "latency_ms": {
-            "p50": _percentile(latencies, 0.50),
-            "p95": _percentile(latencies, 0.95),
-            "p99": _percentile(latencies, 0.99),
+            "p50": _quantile(0.50),
+            "p95": _quantile(0.95),
+            "p99": _quantile(0.99),
         },
         "oracle": {
             "serializable": oracle.serializable,
             "committed": oracle.committed,
             "orders_tried": oracle.orders_tried,
         },
+        "metrics": metrics.snapshot(),
     }
     return report
-
-
-def _percentile(sorted_values: list[float], q: float) -> float | None:
-    """q-th percentile in milliseconds (nearest-rank), None if empty."""
-    if not sorted_values:
-        return None
-    rank = min(len(sorted_values) - 1,
-               max(0, int(q * len(sorted_values)) - 1))
-    return round(sorted_values[rank] * 1000.0, 3)
 
 
 def main(argv: list[str] | None = None) -> int:

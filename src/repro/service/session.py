@@ -51,7 +51,7 @@ class SessionState(enum.Enum):
 class Session:
     """One mobile client's server-side identity."""
 
-    __slots__ = ("token", "state", "txns", "finished", "sink",
+    __slots__ = ("token", "state", "txns", "finished", "held", "sink",
                  "bto_timer", "aborted_by_bto", "txn_sequence",
                  "connects", "disconnects")
 
@@ -64,6 +64,10 @@ class Session:
         #: txn id -> "committed" | "aborted".  Drained into the
         #: ``welcome`` frame on reconnect.
         self.finished: dict[str, str] = {}
+        #: request-correlated pushes (late grants, apply errors) that
+        #: landed while detached; replayed right after the reconnect
+        #: welcome so no request id is left dangling by an outage.
+        self.held: list[dict[str, Any]] = []
         #: where pushes for this session go; None while detached.
         self.sink: FrameSink | None = None
         #: pending BTO timer handle (armed while DETACHED).
@@ -159,8 +163,27 @@ class SessionStore:
         session.state = SessionState.EXPIRED
         session.aborted_by_bto = aborted
         session.bto_timer = None
+        session.held.clear()  # nothing will ever replay these
 
     def close(self, session: Session) -> None:
         """Graceful ``bye``: the token will never resume."""
         session.state = SessionState.CLOSED
         session.sink = None
+        session.held.clear()
+
+    def purge_finished(self) -> int:
+        """Evict every EXPIRED / CLOSED session; returns the count.
+
+        The session-side mirror of the GTM's ``retire_finished``: a
+        long-lived daemon must not grow its token directory without
+        bound.  The trade is visible on the wire — a purged token
+        resumes as :class:`UnknownToken` rather than
+        :class:`SessionExpired` — so eviction is opt-in, driven by
+        ``ServiceConfig.retire_finished``.
+        """
+        dead = [token for token, session in self._sessions.items()
+                if session.state in (SessionState.EXPIRED,
+                                     SessionState.CLOSED)]
+        for token in dead:
+            del self._sessions[token]
+        return len(dead)

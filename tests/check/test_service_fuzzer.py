@@ -1,0 +1,99 @@
+"""Determinism and detection-power tests for the service fuzzer.
+
+Two properties make ``--service-fuzz`` trustworthy:
+
+1. **Determinism** — an episode spec (and therefore its frame schedule,
+   transcript digest, and a whole campaign's rolling digest) is a pure
+   function of ``(seed, index)``, byte-identical at every ``--jobs``
+   setting; a failure seen in CI replays exactly on a laptop.
+2. **Detection power** — the control leg: reverting a fix this fuzzer
+   found must make a short campaign fail again.  If a revert sails
+   through, the oracle went blind, not the code clean.
+"""
+
+import pytest
+
+from repro.check.service_fuzzer import (
+    ServiceFuzzConfig,
+    frame_schedule,
+    generate_service_episode,
+    rehydrate_service_outcome,
+    run_service_campaign,
+    run_service_episode,
+    run_service_episode_compact,
+)
+from repro.service.core import GTMService
+from repro.service.session import SessionStore
+
+
+@pytest.mark.parametrize("seed", [0, 7, 42])
+class TestDeterminism:
+    def test_frame_schedule_is_pure_function_of_seed(self, seed):
+        config = ServiceFuzzConfig()
+        for index in range(12):
+            first = generate_service_episode(config, seed, index)
+            again = generate_service_episode(config, seed, index)
+            assert first == again
+            assert frame_schedule(first) == frame_schedule(again)
+
+    def test_episode_outcome_digest_is_stable(self, seed):
+        spec = generate_service_episode(ServiceFuzzConfig(), seed, 3)
+        first = run_service_episode(spec)
+        again = run_service_episode(spec)
+        assert first.ok and again.ok
+        assert first.digest == again.digest
+        assert first.summary() == again.summary()
+
+    def test_campaign_digest_identical_across_jobs(self, seed):
+        config = ServiceFuzzConfig()
+        reports = [
+            run_service_campaign(config, seed, 12, jobs=jobs,
+                                 shrink_failures=False)
+            for jobs in (1, 2, 4)
+        ]
+        digests = {report.digest for report in reports}
+        assert len(digests) == 1, digests
+        assert all(report.ok for report in reports)
+        assert len({report.committed for report in reports}) == 1
+        assert len({report.aborted for report in reports}) == 1
+
+
+def test_compact_outcome_rehydrates_to_the_full_run():
+    spec = generate_service_episode(ServiceFuzzConfig(), 42, 5)
+    compact = run_service_episode_compact(spec)
+    assert compact.transcripts is None  # the bulky leg stays home
+    assert compact.metrics is not None  # campaigns accumulate these
+    full = rehydrate_service_outcome(compact)
+    assert full.ok == compact.ok
+    assert full.digest == compact.digest
+    assert full.transcripts is not None
+
+
+class TestControlLeg:
+    """Revert a shipped fix; the campaign must catch it quickly."""
+
+    def test_reverted_held_delivery_is_caught(self, monkeypatch):
+        # pre-fix: correlated pushes went straight to session.send and
+        # were dropped while detached (the lost-grant race).  Found at
+        # seed 42 episode 14.
+        monkeypatch.setattr(
+            GTMService, "_push_correlated",
+            lambda self, session, frame: session.send(frame))
+        report = run_service_campaign(ServiceFuzzConfig(), 42, 200,
+                                      shrink_failures=False)
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.spec.index <= 200
+        assert any("never got its grant reply" in violation
+                   for violation in failure.invariant_violations)
+
+    def test_reverted_session_purge_is_caught(self, monkeypatch):
+        # pre-fix: retire_finished never evicted EXPIRED/CLOSED tokens.
+        # Found at seed 42 episode 2.
+        monkeypatch.setattr(SessionStore, "purge_finished",
+                            lambda self: 0)
+        report = run_service_campaign(ServiceFuzzConfig(), 42, 200,
+                                      shrink_failures=False)
+        assert not report.ok
+        assert any("not purged" in violation
+                   for violation in report.failures[0].invariant_violations)

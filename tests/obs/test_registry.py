@@ -63,6 +63,28 @@ class TestHistogram:
     def test_empty_mean_is_zero(self):
         assert Histogram("h").mean() == 0.0
 
+    def test_quantile_interpolates_within_bucket(self):
+        hist = Histogram("h", buckets=(10.0, 20.0, 40.0))
+        for value in (2.0, 12.0, 14.0, 18.0, 38.0):
+            hist.observe(value)
+        # rank 3 of 5 lands in the (10, 20] bucket (3 entries); the
+        # p50 rank is its 2nd entry -> 10 + 10 * (2/3)
+        assert hist.quantile(0.5) == pytest.approx(10 + 10 * 2 / 3)
+        # extremes clamp to the observed range, not bucket edges
+        assert hist.quantile(0.0) == 2.0
+        assert hist.quantile(1.0) == 38.0
+
+    def test_quantile_edge_cases(self):
+        hist = Histogram("h", buckets=(10.0,))
+        assert hist.quantile(0.5) is None  # empty
+        hist.observe(4.0)
+        # a single observation reports itself despite the coarse bucket
+        assert hist.quantile(0.5) == 4.0
+        hist.observe(99.0)  # overflow bucket: only max is known
+        assert hist.quantile(1.0) == 99.0
+        with pytest.raises(GTMError):
+            hist.quantile(1.5)
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):

@@ -286,3 +286,50 @@ class TestStoreStateMachine:
         with pytest.raises(SessionExpired) as exc_info:
             store.resume(session.token)
         assert exc_info.value.aborted == ("t9",)
+
+
+class TestRetirementKeepsMemoryFlat:
+    """Satellite: ``retire_finished`` must bound *both* registries.
+
+    A long-lived daemon cycles through thousands of clients; the GTM
+    already retires terminal transactions, and
+    :meth:`SessionStore.purge_finished` (called from the service pump)
+    must do the same for EXPIRED / CLOSED tokens — otherwise the token
+    directory grows one entry per client forever.
+    """
+
+    def test_bye_cycles_do_not_grow_the_directories(self, engine):
+        service = GTMService(engine, config=ServiceConfig(
+            bto_timeout=60.0, retire_finished=True))
+        for cycle in range(50):
+            frames = []
+            session = service.connect({"type": "hello", "id": 1},
+                                      frames.append)
+            service.handle(session, {"type": "begin", "id": 2})
+            txn = frames[-1]["txn"]
+            service.handle(session, {"type": "op", "txn": txn,
+                                     "object": "X", "op": "add",
+                                     "operand": 1, "id": 3})
+            service.handle(session, {"type": "commit", "txn": txn,
+                                     "id": 4})
+            service.handle(session, {"type": "bye", "id": 5})
+            assert len(service.sessions) <= 1
+            assert len(service.gtm.transactions) <= 1
+        assert len(service.sessions) == 0
+        assert len(service.gtm.transactions) == 0
+
+    def test_expiry_cycles_do_not_grow_the_directories(self, engine):
+        service = GTMService(engine, config=ServiceConfig(
+            bto_timeout=5.0, retire_finished=True))
+        for cycle in range(50):
+            frames = []
+            session = service.connect({"type": "hello", "id": 1},
+                                      frames.append)
+            service.handle(session, {"type": "begin", "id": 2})
+            service.disconnect(session)
+            engine.run()  # the BTO fires; expiry aborts the sleeper
+            assert session.state is SessionState.EXPIRED
+            assert len(service.sessions) <= 1
+            assert len(service.gtm.transactions) <= 1
+        assert len(service.sessions) == 0
+        assert len(service.gtm.transactions) == 0
